@@ -1,0 +1,139 @@
+//! A Jena-like triple-table store.
+//!
+//! CSPARQL-engine's stored side (Apache Jena) keeps triples in relational
+//! tables and answers basic graph patterns with scans and joins. This
+//! reimplementation keeps one big triple vector with a predicate
+//! partition (Jena's predicate index) but no graph adjacency — each
+//! pattern costs a scan of its predicate's partition, and multi-pattern
+//! queries cost hash joins over full intermediate relations.
+
+use crate::relational::{hash_join, scan_pattern, Relation};
+use std::collections::HashMap;
+use wukong_query::ast::TriplePattern;
+use wukong_rdf::{Pid, Triple};
+
+/// A predicate-partitioned triple table.
+#[derive(Debug, Default)]
+pub struct TripleTable {
+    by_predicate: HashMap<Pid, Vec<Triple>>,
+    len: usize,
+}
+
+impl TripleTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple.
+    pub fn insert(&mut self, t: Triple) {
+        self.by_predicate.entry(t.p).or_default().push(t);
+        self.len += 1;
+    }
+
+    /// Bulk-loads triples.
+    pub fn load(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scans one pattern into a relation. Returns the relation and the
+    /// number of triples touched (the scan cost driver).
+    pub fn scan(&self, pattern: &TriplePattern) -> (Relation, usize) {
+        match self.by_predicate.get(&pattern.p) {
+            Some(part) => (scan_pattern(part.iter(), pattern), part.len()),
+            None => (scan_pattern([].iter(), pattern), 0),
+        }
+    }
+
+    /// Evaluates a conjunction of patterns left-to-right with hash joins,
+    /// starting from `seed` (the unit relation for standalone queries).
+    /// Returns the result and total triples scanned.
+    pub fn evaluate(&self, patterns: &[TriplePattern], seed: Relation) -> (Relation, usize) {
+        let mut acc = seed;
+        let mut scanned = 0;
+        for p in patterns {
+            if acc.is_empty() {
+                break;
+            }
+            let (rel, cost) = self.scan(p);
+            scanned += cost;
+            acc = hash_join(&acc, &rel);
+        }
+        (acc, scanned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wukong_query::ast::Term;
+    use wukong_query::GraphName;
+    use wukong_rdf::Vid;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(Vid(s), Pid(p), Vid(o))
+    }
+
+    fn pat(s: Term, p: u64, o: Term) -> TriplePattern {
+        TriplePattern {
+            s,
+            p: Pid(p),
+            o,
+            graph: GraphName::Stored,
+        }
+    }
+
+    #[test]
+    fn scan_costs_whole_predicate_partition() {
+        let mut tt = TripleTable::new();
+        for i in 0..100 {
+            tt.insert(t(i, 4, 1000 + i));
+        }
+        tt.insert(t(0, 5, 7));
+        let (rel, scanned) = tt.scan(&pat(Term::Const(Vid(3)), 4, Term::Var(0)));
+        assert_eq!(rel.len(), 1);
+        assert_eq!(scanned, 100); // no subject index: full partition walk
+    }
+
+    #[test]
+    fn evaluate_joins_patterns() {
+        let mut tt = TripleTable::new();
+        tt.load([t(1, 1, 2), t(2, 2, 9), t(3, 2, 8)]);
+        // ?X fo ?Y . ?Y po ?Z
+        let (rel, _) = tt.evaluate(
+            &[
+                pat(Term::Var(0), 1, Term::Var(1)),
+                pat(Term::Var(1), 2, Term::Var(2)),
+            ],
+            Relation::unit(),
+        );
+        assert_eq!(rel.rows, vec![vec![Vid(1), Vid(2), Vid(9)]]);
+    }
+
+    #[test]
+    fn empty_accumulator_short_circuits() {
+        let mut tt = TripleTable::new();
+        tt.insert(t(1, 1, 2));
+        let (rel, scanned) = tt.evaluate(
+            &[
+                pat(Term::Const(Vid(99)), 1, Term::Var(0)),
+                pat(Term::Var(0), 1, Term::Var(1)),
+            ],
+            Relation::unit(),
+        );
+        assert!(rel.is_empty());
+        assert_eq!(scanned, 1); // second pattern never scanned
+    }
+}

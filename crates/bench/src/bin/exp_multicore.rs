@@ -1,0 +1,76 @@
+//! §6.4 (second experiment): trading cores for latency.
+//!
+//! "Assigning 4 cores on each node can speed up L4, L5 and L6 by 3.0X,
+//! 3.5X and 2.7X respectively" — clients trade resources for latency when
+//! it matters. Selective queries run in-place on one worker and gain
+//! nothing.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 8;
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms, {nodes} nodes (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let engines: Vec<_> = [1usize, 2, 4]
+        .into_iter()
+        .map(|cores| {
+            (
+                cores,
+                feed_engine(
+                    EngineConfig {
+                        cores_per_query: cores,
+                        ..EngineConfig::cluster(nodes)
+                    },
+                    &w.strings,
+                    w.schemas(),
+                    &w.stored,
+                    &w.timeline,
+                    w.duration,
+                ),
+            )
+        })
+        .collect();
+
+    print_header(
+        "§6.4: latency (ms) vs worker cores per query, group II",
+        &["query", "1 core", "2 cores", "4 cores", "1→4 speedup"],
+    );
+    for class in 4..=6 {
+        let text = lsbench::continuous_query(&w.bench, class, 0);
+        let mut medians = Vec::new();
+        for (_, engine) in &engines {
+            let id = engine.register_continuous(&text).expect("register");
+            medians.push(sample_continuous(engine, id, runs).median().expect("samples"));
+        }
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(medians[0]),
+            fmt_ms(medians[1]),
+            fmt_ms(medians[2]),
+            format!("{:.1}X", medians[0] / medians[2].max(1e-9)),
+        ]);
+    }
+
+    println!("\nSelective queries (in-place, one worker) are unaffected:");
+    print_header("group I reference", &["query", "1 core", "4 cores"]);
+    for class in 1..=3 {
+        let text = lsbench::continuous_query(&w.bench, class, 0);
+        let id1 = engines[0].1.register_continuous(&text).expect("register");
+        let id4 = engines[2].1.register_continuous(&text).expect("register");
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(sample_continuous(&engines[0].1, id1, runs).median().expect("samples")),
+            fmt_ms(sample_continuous(&engines[2].1, id4, runs).median().expect("samples")),
+        ]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Ablation: the value of global, cost-based planning (§2.3 Issue #2).
+//!
+//! The composite design's split plans are one of the paper's three
+//! composite deficiencies. This experiment quantifies plan quality on the
+//! *integrated* engine itself: each LSBench class runs with (a) the
+//! cost-based greedy plan and (b) the worst same-shape plan (pattern
+//! order reversed, anchors chosen without estimates), showing how much
+//! early pruning matters even without a system boundary.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::access::NodeAccess;
+use wukong_core::EngineConfig;
+use wukong_net::{NodeId, TaskTimer};
+use wukong_query::exec::{ExecContext, StringLiteralResolver, WindowInstance};
+use wukong_query::plan::Plan;
+use wukong_query::{execute, parse_query, plan_patterns, plan_query};
+use wukong_rdf::StreamId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+    let engine = feed_engine(
+        EngineConfig::single_node(),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+
+    print_header(
+        "Planner ablation: cost-based vs reversed pattern order (ms)",
+        &["query", "planned", "reversed", "penalty"],
+    );
+    let cluster = engine.cluster();
+    for class in 1..=lsbench::CONTINUOUS_CLASSES {
+        let text = lsbench::continuous_query(&w.bench, class, 0);
+        let query = parse_query(engine.strings(), &text).expect("parses");
+
+        // Build the execution context the engine would use.
+        let windows: Vec<WindowInstance> = query
+            .streams
+            .iter()
+            .map(|(name, spec)| {
+                let idx = cluster
+                    .streams()
+                    .iter()
+                    .position(|s| s.schema.name == *name)
+                    .expect("registered stream");
+                let hi = engine.stable_ts(StreamId(idx as u16));
+                WindowInstance {
+                    stream: StreamId(idx as u16),
+                    lo: hi.saturating_sub(spec.range_ms) + 1,
+                    hi,
+                }
+            })
+            .collect();
+        let ctx = ExecContext {
+            sn: engine.stable_sn(),
+            windows,
+        };
+        let access = NodeAccess::new(cluster, NodeId(0));
+        let lit = StringLiteralResolver(engine.strings());
+
+        let good = plan_query(&query, &access, &ctx);
+        // Worst same-shape plan: reversed textual order, no estimates
+        // (plan_patterns still picks a legal anchor per step).
+        let mut reversed = query.patterns.clone();
+        reversed.reverse();
+        let bad = Plan {
+            steps: plan_patterns(
+                &reversed,
+                &vec![false; query.var_count as usize],
+                // Estimate-free oracle: every anchor looks equally good,
+                // so the textual order wins.
+                &ConstOracle,
+                &ctx,
+            )
+            .steps,
+        };
+
+        let median = |plan: &Plan| {
+            let mut samples: Vec<f64> = (0..runs.min(30))
+                .map(|_| {
+                    let mut timer = TaskTimer::start();
+                    let _ = execute(&query, plan, &ctx, &access, &lit, &mut timer);
+                    timer.total_ms()
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            samples[samples.len() / 2]
+        };
+        let g = median(&good);
+        let b = median(&bad);
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(g),
+            fmt_ms(b),
+            format!("{:.1}X", b / g.max(1e-9)),
+        ]);
+    }
+}
+
+/// An oracle with no information: every estimate is the same.
+struct ConstOracle;
+
+impl wukong_query::GraphAccess for ConstOracle {
+    fn neighbors(
+        &self,
+        _key: wukong_rdf::Key,
+        _src: wukong_query::exec::PatternSource,
+        _ctx: &ExecContext,
+        _timer: &mut TaskTimer,
+        _out: &mut Vec<wukong_rdf::Vid>,
+    ) {
+    }
+
+    fn estimate(
+        &self,
+        _key: wukong_rdf::Key,
+        _src: wukong_query::exec::PatternSource,
+        _ctx: &ExecContext,
+    ) -> usize {
+        1
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: locality-aware stream-index partitioning (§4.2).
+//!
+//! With replication, a continuous query reads the stream index locally and
+//! pays at most one RDMA read per remote value; without it, every remote
+//! window lookup pays "an additional RDMA read" for the index itself. The
+//! price of replication is injection-time messages to subscriber nodes.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 8;
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms, {nodes} nodes (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let mut engines = Vec::new();
+    for replicate in [true, false] {
+        let engine = feed_engine(
+            EngineConfig {
+                replicate_stream_indexes: replicate,
+                // Hold execution in-place so the ablation isolates the
+                // stream-access path.
+                exec_mode: wukong_core::ExecMode::InPlace,
+                ..EngineConfig::cluster(nodes)
+            },
+            &w.strings,
+            w.schemas(),
+            &w.stored,
+            &w.timeline,
+            w.duration,
+        );
+        engines.push((replicate, engine));
+    }
+
+    print_header(
+        "§4.2 ablation: stream-index replication (in-place execution)",
+        &["query", "replicated", "partitioned", "slowdown"],
+    );
+    let mut reads = Vec::new();
+    for class in 1..=lsbench::CONTINUOUS_CLASSES {
+        let text = lsbench::continuous_query(&w.bench, class, 0);
+        let mut medians = Vec::new();
+        for (_, engine) in &engines {
+            let id = engine.register_continuous(&text).expect("register");
+            let before = engine.cluster().fabric().metrics();
+            medians.push(sample_continuous(engine, id, runs).median().expect("samples"));
+            let delta = before.delta(&engine.cluster().fabric().metrics());
+            reads.push(delta.one_sided_reads / (runs as u64 + 1));
+        }
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(medians[0]),
+            fmt_ms(medians[1]),
+            format!("{:.1}X", medians[1] / medians[0].max(1e-9)),
+        ]);
+    }
+    println!(
+        "\nMean one-sided reads per execution: {} replicated vs {} partitioned",
+        reads.iter().step_by(2).sum::<u64>() / 6,
+        reads.iter().skip(1).step_by(2).sum::<u64>() / 6,
+    );
+}

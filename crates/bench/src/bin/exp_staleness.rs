@@ -1,0 +1,60 @@
+//! Ablation: the SN-VTS plan's staleness bound (§4.3).
+//!
+//! "The Coordinator can leverage the interval of the mappings to control
+//! the staleness of query results": a step of 1 batch gives the freshest
+//! one-shot snapshots but constrains injectors; larger steps batch more
+//! insertion per snapshot and leave one-shot results up to that many
+//! batches stale. This binary sweeps the bound and reports the snapshot
+//! cadence and the resulting one-shot staleness.
+
+use wukong_bench::{feed_engine, ls_workload, print_header, print_row, Scale};
+use wukong_core::EngineConfig;
+use wukong_rdf::StreamId;
+use wukong_stream::StalenessBound;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    println!(
+        "LSBench: {} stream tuples over {} ms (scale {scale:?})",
+        w.timeline.len(),
+        w.duration,
+    );
+
+    print_header(
+        "§4.3 ablation: snapshot staleness bound",
+        &["bound", "stable SN", "SN cadence ms", "one-shot lag ms"],
+    );
+    for bound in [1u64, 2, 5, 10] {
+        let engine = feed_engine(
+            EngineConfig {
+                staleness: StalenessBound(bound),
+                ..EngineConfig::cluster(4)
+            },
+            &w.strings,
+            w.schemas(),
+            &w.stored,
+            &w.timeline,
+            w.duration,
+        );
+        let sn = engine.stable_sn().0;
+        // Snapshot cadence: stream time per snapshot; one-shot lag: how
+        // far behind the freshest batch the stable snapshot's horizon is
+        // in the worst case (bound × batch interval).
+        let cadence = w.duration as f64 / sn.max(1) as f64;
+        let lag = bound * 100;
+        // Sanity: continuous visibility is unaffected by the bound.
+        let fresh = engine.stable_ts(StreamId(0));
+        print_row(vec![
+            bound.to_string(),
+            sn.to_string(),
+            format!("{cadence:.0}"),
+            format!("<= {lag} (streams stable at {fresh})"),
+        ]);
+    }
+    println!(
+        "\nLarger bounds advance the snapshot number less often (cheaper \
+         coordination, staler one-shots); continuous queries always see \
+         the stable VTS regardless."
+    );
+}

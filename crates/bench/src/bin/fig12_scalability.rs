@@ -1,0 +1,61 @@
+//! Fig. 12: Wukong+S latency vs cluster size (2-8 nodes) on LSBench.
+//!
+//! Paper shape: group I (L1-L3, selective, in-place execution) stays
+//! flat as nodes grow; group II (L4-L6, fork-join over the whole stored
+//! graph) speeds up 2.8-3.2× from 2 to 8 nodes.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let node_counts = [2usize, 4, 6, 8];
+    // medians[class-1][node index]
+    let mut medians = vec![vec![0.0f64; node_counts.len()]; lsbench::CONTINUOUS_CLASSES];
+    for (ni, &nodes) in node_counts.iter().enumerate() {
+        let engine = feed_engine(
+            EngineConfig::cluster(nodes),
+            &w.strings,
+            w.schemas(),
+            &w.stored,
+            &w.timeline,
+            w.duration,
+        );
+        for class in 1..=lsbench::CONTINUOUS_CLASSES {
+            let id = engine
+                .register_continuous(&lsbench::continuous_query(&w.bench, class, 0))
+                .expect("register");
+            medians[class - 1][ni] = sample_continuous(&engine, id, runs)
+                .median()
+                .expect("samples");
+        }
+    }
+
+    for (title, range) in [("group I (selective)", 0..3), ("group II (non-selective)", 3..6)] {
+        print_header(
+            &format!("Fig 12 {title}: latency (ms) vs nodes"),
+            &["query", "2", "4", "6", "8", "2→8 speedup"],
+        );
+        for c in range {
+            let row = &medians[c];
+            print_row(vec![
+                format!("L{}", c + 1),
+                fmt_ms(row[0]),
+                fmt_ms(row[1]),
+                fmt_ms(row[2]),
+                fmt_ms(row[3]),
+                format!("{:.1}X", row[0] / row[3].max(1e-9)),
+            ]);
+        }
+    }
+}

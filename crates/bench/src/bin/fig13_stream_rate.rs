@@ -1,0 +1,60 @@
+//! Fig. 13: Wukong+S latency vs stream rate on LSBench (8 nodes).
+//!
+//! The rate sweeps ×0.25 to ×4 of the default. Paper shape: group I
+//! (selective) latency is flat regardless of rate; group II latency grows
+//! with the rate (windows hold proportionally more tuples) yet stays low.
+
+use wukong_bench::workload::ls_workload_with;
+use wukong_bench::{feed_engine, fmt_ms, print_header, print_row, sample_continuous, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = scale.runs();
+    let base_cfg = scale.ls_config();
+    let duration = scale.ls_duration();
+    let multipliers = [0.25f64, 0.5, 1.0, 2.0, 4.0];
+
+    // medians[class-1][rate index]
+    let mut medians = vec![vec![0.0f64; multipliers.len()]; lsbench::CONTINUOUS_CLASSES];
+    for (ri, &m) in multipliers.iter().enumerate() {
+        let mut cfg = base_cfg.clone();
+        cfg.rate_scale *= m;
+        let w = ls_workload_with(cfg, duration);
+        let engine = feed_engine(
+            EngineConfig::cluster(8),
+            &w.strings,
+            w.schemas(),
+            &w.stored,
+            &w.timeline,
+            w.duration,
+        );
+        for class in 1..=lsbench::CONTINUOUS_CLASSES {
+            let id = engine
+                .register_continuous(&lsbench::continuous_query(&w.bench, class, 0))
+                .expect("register");
+            medians[class - 1][ri] = sample_continuous(&engine, id, runs)
+                .median()
+                .expect("samples");
+        }
+    }
+
+    for (title, range) in [("group I (selective)", 0..3), ("group II (non-selective)", 3..6)] {
+        print_header(
+            &format!("Fig 13 {title}: latency (ms) vs stream rate"),
+            &["query", "x0.25", "x0.5", "x1", "x2", "x4"],
+        );
+        for c in range {
+            let row = &medians[c];
+            print_row(vec![
+                format!("L{}", c + 1),
+                fmt_ms(row[0]),
+                fmt_ms(row[1]),
+                fmt_ms(row[2]),
+                fmt_ms(row[3]),
+                fmt_ms(row[4]),
+            ]);
+        }
+    }
+}

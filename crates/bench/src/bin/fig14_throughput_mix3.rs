@@ -1,0 +1,108 @@
+//! Fig. 14: throughput of a 3-class mix (L1-L3) vs cluster size, plus the
+//! latency CDF on 8 nodes.
+//!
+//! Methodology (documented in `EXPERIMENTS.md`): the paper runs 16 worker
+//! threads per node and reports aggregate queries/second; this host has a
+//! single core, so aggregate throughput is computed by Little's law —
+//! `16 workers × nodes / mean mix latency` — with the per-query latency
+//! (compute + charged network time) measured over registered query
+//! variants whose home nodes spread across the cluster. The class mix
+//! follows the paper: proportions are the reciprocal of each class's
+//! average latency. Paper shape: ~4.2× throughput from 2 to 8 nodes,
+//! ~1 M q/s peak, sub-ms median latency.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::{EngineConfig, LatencyRecorder, WukongS};
+
+const WORKERS_PER_NODE: f64 = 16.0;
+
+/// Builds the per-class latency recorders for a class mix.
+pub fn measure_mix(
+    engine: &WukongS,
+    bench: &wukong_benchdata::LsBench,
+    classes: &[usize],
+    variants: usize,
+    runs_per_variant: usize,
+) -> Vec<LatencyRecorder> {
+    classes
+        .iter()
+        .map(|&class| {
+            let mut rec = LatencyRecorder::new();
+            for v in 0..variants {
+                let id = engine
+                    .register_continuous(&lsbench::continuous_query(bench, class, v))
+                    .expect("register");
+                let _ = engine.execute_registered(id); // plan warm-up
+                for _ in 0..runs_per_variant {
+                    let (_, ms) = engine.execute_registered(id);
+                    rec.record(ms);
+                }
+            }
+            rec
+        })
+        .collect()
+}
+
+/// Mix throughput by Little's law with reciprocal-latency class weights.
+pub fn mix_throughput(recs: &[LatencyRecorder], nodes: usize) -> (f64, f64) {
+    let lats: Vec<f64> = recs.iter().map(|r| r.mean().expect("samples")).collect();
+    let inv_sum: f64 = lats.iter().map(|l| 1.0 / l).sum();
+    // Weighted mean latency of the mix = k / Σ(1/L).
+    let mean_ms = lats.len() as f64 / inv_sum;
+    let thr = WORKERS_PER_NODE * nodes as f64 / (mean_ms / 1_000.0);
+    (thr, mean_ms)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    let classes = [1usize, 2, 3];
+    let variants = match scale {
+        Scale::Tiny => 4,
+        _ => 16,
+    };
+    let runs = (scale.runs() / 10).max(5);
+    println!(
+        "LSBench mix L1-L3: {} variants/class, {} runs/variant (scale {scale:?})",
+        variants, runs
+    );
+
+    print_header(
+        "Fig 14a: throughput vs nodes (mix L1-L3)",
+        &["nodes", "q/s", "mean lat ms"],
+    );
+    let mut last_recs = Vec::new();
+    for nodes in [2usize, 3, 4, 5, 6, 7, 8] {
+        let engine = feed_engine(
+            EngineConfig::cluster(nodes),
+            &w.strings,
+            w.schemas(),
+            &w.stored,
+            &w.timeline,
+            w.duration,
+        );
+        let recs = measure_mix(&engine, &w.bench, &classes, variants, runs);
+        let (thr, mean_ms) = mix_throughput(&recs, nodes);
+        print_row(vec![
+            nodes.to_string(),
+            format!("{:.0}", thr),
+            fmt_ms(mean_ms),
+        ]);
+        last_recs = recs;
+    }
+
+    print_header(
+        "Fig 14b: latency CDF on 8 nodes (ms at percentile)",
+        &["query", "p50", "p90", "p99", "p100"],
+    );
+    for (i, rec) in last_recs.iter().enumerate() {
+        print_row(vec![
+            format!("L{}", classes[i]),
+            fmt_ms(rec.percentile(50.0).expect("samples")),
+            fmt_ms(rec.percentile(90.0).expect("samples")),
+            fmt_ms(rec.percentile(99.0).expect("samples")),
+            fmt_ms(rec.percentile(100.0).expect("samples")),
+        ]);
+    }
+}

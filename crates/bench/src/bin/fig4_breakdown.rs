@@ -1,0 +1,67 @@
+//! Fig. 4: execution-time breakdown of QC on Storm+Wukong, both plans.
+//!
+//! QC is Fig. 2's continuous query (our L5 class). Paper shape: the
+//! interleaved plan (a) spends ≈ 39% of its time on cross-system cost;
+//! the stream-first plan (b) makes fewer crossings but is *slower*
+//! overall because joining the two stream relations first produces a huge
+//! intermediate result that the store side cannot prune (CC ≈ 46%).
+
+use wukong_baselines::{CompositePlan, CompositeProfile};
+use wukong_bench::workload::LS_STREAMS;
+use wukong_bench::{feed_composite, feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_composite, sample_continuous, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let mut storm = feed_composite(
+        CompositeProfile::storm_wukong(1),
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+    let qc = lsbench::continuous_query(&w.bench, 5, 0);
+    let id = storm.register_continuous(&qc).expect("register QC");
+
+    print_header(
+        "Fig 4: Storm+Wukong breakdown of QC (ms)",
+        &["plan", "total", "stream", "store", "cross", "CC %"],
+    );
+    for (name, plan) in [
+        ("(a) interleaved", CompositePlan::Interleaved),
+        ("(b) stream-first", CompositePlan::StreamFirst),
+    ] {
+        let (rec, bd) = sample_composite(&storm, id, w.duration, plan, runs);
+        print_row(vec![
+            name.into(),
+            fmt_ms(rec.median().expect("samples")),
+            fmt_ms(bd.stream_ms),
+            fmt_ms(bd.store_ms),
+            fmt_ms(bd.cross_ms),
+            format!("{:.1}%", 100.0 * bd.cross_fraction()),
+        ]);
+    }
+
+    // Reference: the same query on integrated Wukong+S.
+    let engine = feed_engine(
+        EngineConfig::single_node(),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let wid = engine.register_continuous(&qc).expect("register");
+    let ws = sample_continuous(&engine, wid, runs).median().expect("samples");
+    println!("\nIntegrated Wukong+S runs QC in {} ms (no cross-system cost).", fmt_ms(ws));
+}

@@ -1,0 +1,111 @@
+//! Table 2: single-node continuous-query latency (ms) on LSBench.
+//!
+//! Columns: Wukong+S | Storm+Wukong (total, Storm part, Wukong part) |
+//! CSPARQL-engine; rows L1-L6 plus the geometric mean. The paper's shape:
+//! Wukong+S beats Storm+Wukong by 1.6-30×, and CSPARQL-engine by about
+//! three orders of magnitude.
+
+use wukong_baselines::{CompositePlan, CompositeProfile};
+use wukong_bench::workload::LS_STREAMS;
+use wukong_bench::{
+    feed_composite, feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_composite,
+    sample_continuous, Scale,
+};
+use wukong_benchdata::lsbench;
+use wukong_core::metrics::geometric_mean;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let engine = feed_engine(
+        EngineConfig::single_node(),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let mut storm = feed_composite(
+        CompositeProfile::storm_wukong(1),
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+    let mut csparql = feed_composite(
+        CompositeProfile::csparql(),
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+
+    // Register every class on every engine (id == class - 1).
+    let texts: Vec<String> = (1..=lsbench::CONTINUOUS_CLASSES)
+        .map(|c| lsbench::continuous_query(&w.bench, c, 0))
+        .collect();
+    let wids: Vec<usize> = texts
+        .iter()
+        .map(|t| engine.register_continuous(t).expect("Wukong+S registration"))
+        .collect();
+    let sids: Vec<usize> = texts
+        .iter()
+        .map(|t| storm.register_continuous(t).expect("Storm+Wukong registration"))
+        .collect();
+    let cids: Vec<usize> = texts
+        .iter()
+        .map(|t| csparql.register_continuous(t).expect("CSPARQL registration"))
+        .collect();
+
+    print_header(
+        "Table 2: single-node latency (ms), LSBench",
+        &["query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "CSPARQL"],
+    );
+
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (i, class) in (1..=lsbench::CONTINUOUS_CLASSES).enumerate() {
+        let ws = sample_continuous(&engine, wids[i], runs)
+            .median()
+            .expect("samples");
+        let (srec, sbd) =
+            sample_composite(&storm, sids[i], w.duration, CompositePlan::Interleaved, runs);
+        let s_total = srec.median().expect("samples");
+        let (crec, _) = sample_composite(
+            &csparql,
+            cids[i],
+            w.duration,
+            CompositePlan::Interleaved,
+            (runs / 10).max(3),
+        );
+        let c_total = crec.median().expect("samples");
+
+        geo[0].push(ws);
+        geo[1].push(s_total);
+        geo[2].push(c_total);
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(ws),
+            fmt_ms(s_total),
+            fmt_ms(sbd.stream_ms + sbd.cross_ms),
+            fmt_ms(sbd.store_ms),
+            fmt_ms(c_total),
+        ]);
+    }
+    print_row(vec![
+        "Geo.M".into(),
+        fmt_ms(geometric_mean(geo[0].iter().copied()).unwrap_or(0.0)),
+        fmt_ms(geometric_mean(geo[1].iter().copied()).unwrap_or(0.0)),
+        String::new(),
+        String::new(),
+        fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
+    ]);
+}

@@ -1,0 +1,112 @@
+//! Table 3: 8-node continuous-query latency (ms) on LSBench.
+//!
+//! Columns: Wukong+S | Storm+Wukong (total, Storm, Wukong) | Spark
+//! Streaming. Paper shape: Wukong+S beats Storm+Wukong by 2.3-29× and
+//! Spark Streaming by three orders of magnitude; Storm+Wukong's
+//! cross-system overhead runs 13.8-56.2% of total.
+
+use wukong_baselines::{CompositePlan, CompositeProfile, SparkMode};
+use wukong_bench::workload::LS_STREAMS;
+use wukong_bench::{
+    feed_composite, feed_engine, feed_spark, fmt_ms, ls_workload, print_header, print_row,
+    sample_composite, sample_continuous, Scale,
+};
+use wukong_benchdata::lsbench;
+use wukong_core::metrics::geometric_mean;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 8;
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms, {nodes} nodes (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let engine = feed_engine(
+        EngineConfig::cluster(nodes),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let mut storm = feed_composite(
+        CompositeProfile::storm_wukong(nodes),
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+    let mut spark = feed_spark(
+        SparkMode::MicroBatch,
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+
+    let texts: Vec<String> = (1..=lsbench::CONTINUOUS_CLASSES)
+        .map(|c| lsbench::continuous_query(&w.bench, c, 0))
+        .collect();
+    let wids: Vec<usize> = texts
+        .iter()
+        .map(|t| engine.register_continuous(t).expect("Wukong+S registration"))
+        .collect();
+    let sids: Vec<usize> = texts
+        .iter()
+        .map(|t| storm.register_continuous(t).expect("Storm+Wukong registration"))
+        .collect();
+    let kids: Vec<usize> = texts
+        .iter()
+        .map(|t| spark.register_continuous(t).expect("Spark registration"))
+        .collect();
+
+    print_header(
+        "Table 3: 8-node latency (ms), LSBench",
+        &["query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "Spark"],
+    );
+
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for (i, class) in (1..=lsbench::CONTINUOUS_CLASSES).enumerate() {
+        let ws = sample_continuous(&engine, wids[i], runs)
+            .median()
+            .expect("samples");
+        let (srec, sbd) =
+            sample_composite(&storm, sids[i], w.duration, CompositePlan::Interleaved, runs);
+        let s_total = srec.median().expect("samples");
+
+        let spark_runs = (runs / 10).max(3);
+        let mut spark_samples = Vec::new();
+        for _ in 0..spark_runs {
+            let (_, ms) = spark.execute(kids[i], w.duration);
+            spark_samples.push(ms);
+        }
+        spark_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let sp = spark_samples[spark_samples.len() / 2];
+
+        geo[0].push(ws);
+        geo[1].push(s_total);
+        geo[2].push(sp);
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(ws),
+            fmt_ms(s_total),
+            fmt_ms(sbd.stream_ms + sbd.cross_ms),
+            fmt_ms(sbd.store_ms),
+            fmt_ms(sp),
+        ]);
+    }
+    print_row(vec![
+        "Geo.M".into(),
+        fmt_ms(geometric_mean(geo[0].iter().copied()).unwrap_or(0.0)),
+        fmt_ms(geometric_mean(geo[1].iter().copied()).unwrap_or(0.0)),
+        String::new(),
+        String::new(),
+        fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
+    ]);
+}

@@ -1,0 +1,130 @@
+//! Table 4: further 8-node comparisons on LSBench.
+//!
+//! Columns: Heron+Wukong (total, Heron, Wukong) | Structured Streaming |
+//! Wukong/Ext. Paper shape: Heron helps the stream-only queries but the
+//! cross-system cost still dominates queries that touch stored data;
+//! Structured Streaming supports only L1-L3 (✗ elsewhere) and is slower
+//! than Spark Streaming; Wukong/Ext trails Wukong+S by 1.6-4.4×.
+
+use wukong_baselines::{CompositePlan, CompositeProfile, SparkMode};
+use wukong_bench::workload::LS_STREAMS;
+use wukong_bench::{
+    feed_composite, feed_engine, feed_spark, feed_wukong_ext, fmt_ms, ls_workload, print_header,
+    print_row, sample_composite, sample_continuous, Scale,
+};
+use wukong_benchdata::lsbench;
+use wukong_core::metrics::geometric_mean;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 8;
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms, {nodes} nodes (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    // Wukong+S as the reference column for the Wukong/Ext speedup note.
+    let engine = feed_engine(
+        EngineConfig::cluster(nodes),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let mut heron = feed_composite(
+        CompositeProfile::heron_wukong(nodes),
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+    let mut structured = feed_spark(
+        SparkMode::Structured,
+        &w.strings,
+        &LS_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+    let mut ext = feed_wukong_ext(nodes, &w.strings, &LS_STREAMS, &w.stored, &w.timeline);
+
+    let texts: Vec<String> = (1..=lsbench::CONTINUOUS_CLASSES)
+        .map(|c| lsbench::continuous_query(&w.bench, c, 0))
+        .collect();
+    let wids: Vec<usize> = texts
+        .iter()
+        .map(|t| engine.register_continuous(t).expect("Wukong+S registration"))
+        .collect();
+    let hids: Vec<usize> = texts
+        .iter()
+        .map(|t| heron.register_continuous(t).expect("Heron registration"))
+        .collect();
+    let structured_ids: Vec<Option<usize>> = texts
+        .iter()
+        .map(|t| structured.register_continuous(t).ok())
+        .collect();
+    let eids: Vec<usize> = texts
+        .iter()
+        .map(|t| ext.register_continuous(t).expect("Wukong/Ext registration"))
+        .collect();
+
+    print_header(
+        "Table 4: further 8-node comparisons (ms), LSBench",
+        &["query", "H+W all", "(Heron)", "(Wukong)", "Structured", "Wukong/Ext", "Wukong+S"],
+    );
+
+    let mut geo_h = Vec::new();
+    let mut geo_e = Vec::new();
+    let mut geo_w = Vec::new();
+    for (i, class) in (1..=lsbench::CONTINUOUS_CLASSES).enumerate() {
+        let (hrec, hbd) =
+            sample_composite(&heron, hids[i], w.duration, CompositePlan::Interleaved, runs);
+        let h_total = hrec.median().expect("samples");
+
+        let st = match structured_ids[i] {
+            Some(id) => {
+                let n = (runs / 10).max(3);
+                let mut samples: Vec<f64> =
+                    (0..n).map(|_| structured.execute(id, w.duration).1).collect();
+                samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                fmt_ms(samples[samples.len() / 2])
+            }
+            None => "x".into(),
+        };
+
+        let mut ext_samples: Vec<f64> = (0..runs).map(|_| ext.execute(eids[i], w.duration).1).collect();
+        ext_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let e_med = ext_samples[ext_samples.len() / 2];
+
+        let ws = sample_continuous(&engine, wids[i], runs)
+            .median()
+            .expect("samples");
+
+        geo_h.push(h_total);
+        geo_e.push(e_med);
+        geo_w.push(ws);
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(h_total),
+            fmt_ms(hbd.stream_ms + hbd.cross_ms),
+            fmt_ms(hbd.store_ms),
+            st,
+            fmt_ms(e_med),
+            fmt_ms(ws),
+        ]);
+    }
+    print_row(vec![
+        "Geo.M".into(),
+        fmt_ms(geometric_mean(geo_h.iter().copied()).unwrap_or(0.0)),
+        String::new(),
+        String::new(),
+        String::new(),
+        fmt_ms(geometric_mean(geo_e.iter().copied()).unwrap_or(0.0)),
+        fmt_ms(geometric_mean(geo_w.iter().copied()).unwrap_or(0.0)),
+    ]);
+}

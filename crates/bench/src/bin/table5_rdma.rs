@@ -1,0 +1,71 @@
+//! Table 5: the performance impact of RDMA on Wukong+S (8 nodes).
+//!
+//! Rows: Wukong+S (RDMA, in-place for selective queries) vs Non-RDMA
+//! (TCP costs, forced fork-join). Paper shape: selective L1-L3 are
+//! insensitive (~1.0-1.1×); non-selective L4-L6 slow down 1.8-3.5×.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::metrics::geometric_mean;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 8;
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms, {nodes} nodes (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let rdma = feed_engine(
+        EngineConfig::cluster(nodes),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let tcp = feed_engine(
+        EngineConfig::cluster_tcp(nodes),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+
+    print_header(
+        "Table 5: RDMA impact on Wukong+S (ms), LSBench, 8 nodes",
+        &["query", "Wukong+S", "Non-RDMA", "slowdown"],
+    );
+
+    let mut geo_r = Vec::new();
+    let mut geo_t = Vec::new();
+    for class in 1..=lsbench::CONTINUOUS_CLASSES {
+        let text = lsbench::continuous_query(&w.bench, class, 0);
+        let rid = rdma.register_continuous(&text).expect("register");
+        let tid = tcp.register_continuous(&text).expect("register");
+        let r = sample_continuous(&rdma, rid, runs).median().expect("samples");
+        let t = sample_continuous(&tcp, tid, runs).median().expect("samples");
+        geo_r.push(r);
+        geo_t.push(t);
+        print_row(vec![
+            format!("L{class}"),
+            fmt_ms(r),
+            fmt_ms(t),
+            format!("{:.1}X", t / r.max(1e-9)),
+        ]);
+    }
+    let gr = geometric_mean(geo_r).unwrap_or(0.0);
+    let gt = geometric_mean(geo_t).unwrap_or(0.0);
+    print_row(vec![
+        "Geo.M".into(),
+        fmt_ms(gr),
+        fmt_ms(gt),
+        format!("{:.1}X", gt / gr.max(1e-9)),
+    ]);
+}

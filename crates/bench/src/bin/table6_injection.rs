@@ -1,0 +1,59 @@
+//! Table 6: data injection and indexing cost per mini-batch (100 ms) for
+//! all five LSBench streams at default rate.
+//!
+//! Paper shape: injection costs 0.37-2.20 ms per 100 ms batch, scaling
+//! with the stream's rate (PO-L, the fastest stream, costs the most);
+//! stream-index building adds 0.21-0.43 ms on top.
+
+use wukong_bench::{feed_engine, ls_workload, print_header, print_row, Scale};
+use wukong_core::EngineConfig;
+use wukong_rdf::StreamId;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = ls_workload(scale);
+    println!(
+        "LSBench: {} stream tuples over {} ms (scale {scale:?})",
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let engine = feed_engine(
+        EngineConfig::cluster(8),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+
+    print_header(
+        "Table 6: injection + indexing cost (ms) per 100 ms mini-batch",
+        &["stream", "rate t/s", "inject", "index", "total"],
+    );
+
+    let rates = w.bench.rates();
+    let names = ["PO", "PO-L", "PH", "PH-L", "GPS"];
+    for (i, name) in names.iter().enumerate() {
+        let (stats, batches) = engine.injection_stats(StreamId(i as u16));
+        let per_batch = |ns: u64| ns as f64 / 1e6 / batches.max(1) as f64;
+        let inject = per_batch(stats.inject_ns);
+        let index = per_batch(stats.index_ns);
+        print_row(vec![
+            (*name).into(),
+            format!("{:.0}", rates[i]),
+            format!("{inject:.3}"),
+            format!("{index:.3}"),
+            format!("{:.3}", inject + index),
+        ]);
+    }
+    println!(
+        "\n(per-batch averages over the whole run; timeless tuples: {}, timing tuples: {})",
+        (0..5)
+            .map(|i| engine.injection_stats(StreamId(i)).0.timeless)
+            .sum::<usize>(),
+        (0..5)
+            .map(|i| engine.injection_stats(StreamId(i)).0.timing)
+            .sum::<usize>(),
+    );
+}

@@ -1,0 +1,100 @@
+//! Table 8: one-shot (SPARQL) query performance on LSBench.
+//!
+//! Rows S1-S6; columns: static Wukong | Wukong+S with streams enabled
+//! (/Off: no continuous queries running) | Wukong+S with concurrent
+//! continuous queries (/On). Paper shape: Wukong+S inherits Wukong's
+//! performance; enabling streams costs < 5%, and concurrent continuous
+//! queries add ≈ 5% more despite sharing the store.
+
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::metrics::geometric_mean;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes = 8;
+    let w = ls_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms, {nodes} nodes (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    // Static Wukong: the base store only, no streams.
+    let wukong = feed_engine(
+        EngineConfig::cluster(nodes),
+        &w.strings,
+        Vec::new(),
+        &w.stored,
+        &[],
+        0,
+    );
+    // Wukong+S with all five streams ingested.
+    let wukongs = feed_engine(
+        EngineConfig::cluster(nodes),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    // Continuous load for the /On column (selective classes, as in §6.9's
+    // maximum-throughput continuous workers).
+    let cont_ids: Vec<usize> = (1..=3)
+        .map(|c| {
+            wukongs
+                .register_continuous(&lsbench::continuous_query(&w.bench, c, 0))
+                .expect("register continuous load")
+        })
+        .collect();
+
+    print_header(
+        "Table 8: one-shot query latency (ms), LSBench",
+        &["query", "Wukong", "Wukong+S/Off", "Wukong+S/On"],
+    );
+
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for class in 1..=lsbench::ONESHOT_CLASSES {
+        let text = lsbench::oneshot_query(&w.bench, class, 0);
+
+        let median = |samples: &mut Vec<f64>| {
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            samples[samples.len() / 2]
+        };
+
+        let mut s0: Vec<f64> = (0..runs)
+            .map(|_| wukong.one_shot(&text).expect("one-shot").1)
+            .collect();
+        let mut s1: Vec<f64> = (0..runs)
+            .map(|_| wukongs.one_shot(&text).expect("one-shot").1)
+            .collect();
+        // /On: interleave continuous executions with the one-shot samples
+        // (they share the persistent store and its locks).
+        let mut s2: Vec<f64> = (0..runs)
+            .map(|i| {
+                let _ = wukongs.execute_registered(cont_ids[i % cont_ids.len()]);
+                wukongs.one_shot(&text).expect("one-shot").1
+            })
+            .collect();
+
+        let (m0, m1, m2) = (median(&mut s0), median(&mut s1), median(&mut s2));
+        geo[0].push(m0);
+        geo[1].push(m1);
+        geo[2].push(m2);
+        print_row(vec![
+            format!("S{class}"),
+            fmt_ms(m0),
+            fmt_ms(m1),
+            fmt_ms(m2),
+        ]);
+    }
+    print_row(vec![
+        "Geo.M".into(),
+        fmt_ms(geometric_mean(geo[0].iter().copied()).unwrap_or(0.0)),
+        fmt_ms(geometric_mean(geo[1].iter().copied()).unwrap_or(0.0)),
+        fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
+    ]);
+}

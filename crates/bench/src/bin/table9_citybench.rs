@@ -1,0 +1,101 @@
+//! Table 9: CityBench continuous-query latency (ms), single node.
+//!
+//! Columns: Wukong+S | Storm+Wukong (total, Storm, Wukong) | Spark
+//! Streaming; rows C1-C11. Paper shape: Wukong+S wins by 2.7-18× over
+//! Storm+Wukong (whose cross-system cost runs 40-75%) and by three orders
+//! of magnitude over Spark Streaming; C10/C11 are stream-only.
+
+use wukong_baselines::{CompositePlan, CompositeProfile, SparkMode};
+use wukong_bench::workload::CITY_STREAMS;
+use wukong_bench::{
+    city_workload, feed_composite, feed_engine, feed_spark, fmt_ms, print_header, print_row,
+    sample_composite, sample_continuous, Scale,
+};
+use wukong_benchdata::citybench;
+use wukong_core::metrics::geometric_mean;
+use wukong_core::EngineConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let w = city_workload(scale);
+    let runs = scale.runs();
+    println!(
+        "CityBench: {} stored triples, {} stream tuples over {} ms (scale {scale:?})",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let engine = feed_engine(
+        EngineConfig::single_node(),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let mut storm = feed_composite(
+        CompositeProfile::storm_wukong(1),
+        &w.strings,
+        &CITY_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+    let mut spark = feed_spark(
+        SparkMode::MicroBatch,
+        &w.strings,
+        &CITY_STREAMS,
+        &w.stored,
+        &w.timeline,
+    );
+
+    print_header(
+        "Table 9: CityBench latency (ms), single node",
+        &["query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "Spark"],
+    );
+
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for class in 1..=citybench::CONTINUOUS_CLASSES {
+        let text = citybench::continuous_query(&w.bench, class, 0);
+        let wid = engine.register_continuous(&text).expect("Wukong+S registration");
+        let sid = storm.register_continuous(&text).expect("Storm registration");
+        let kid = spark.register_continuous(&text).expect("Spark registration");
+
+        let ws = sample_continuous(&engine, wid, runs).median().expect("samples");
+        let (srec, sbd) =
+            sample_composite(&storm, sid, w.duration, CompositePlan::Interleaved, runs);
+        let s_total = srec.median().expect("samples");
+
+        let n = (runs / 10).max(3);
+        let mut sp: Vec<f64> = (0..n).map(|_| spark.execute(kid, w.duration).1).collect();
+        sp.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let sp_med = sp[sp.len() / 2];
+
+        geo[0].push(ws);
+        geo[1].push(s_total);
+        geo[2].push(sp_med);
+        // Stream-only classes have no Wukong sub-component (the paper
+        // prints "-" there).
+        let wukong_part = if text.contains("GRAPH Aarhus") {
+            fmt_ms(sbd.store_ms)
+        } else {
+            "-".to_string()
+        };
+        print_row(vec![
+            format!("C{class}"),
+            fmt_ms(ws),
+            fmt_ms(s_total),
+            fmt_ms(sbd.stream_ms + sbd.cross_ms),
+            wukong_part,
+            fmt_ms(sp_med),
+        ]);
+    }
+    print_row(vec![
+        "Geo.M".into(),
+        fmt_ms(geometric_mean(geo[0].iter().copied()).unwrap_or(0.0)),
+        fmt_ms(geometric_mean(geo[1].iter().copied()).unwrap_or(0.0)),
+        String::new(),
+        String::new(),
+        fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
+    ]);
+}

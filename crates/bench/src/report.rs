@@ -1,0 +1,52 @@
+//! Table formatting helpers for the experiment binaries.
+
+/// Formats milliseconds the way the paper's tables do: two decimals below
+/// 10 ms, one decimal below 100, integral (with thousands separators)
+/// above.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 0.1 {
+        format!("{ms:.3}")
+    } else if ms < 10.0 {
+        format!("{ms:.2}")
+    } else if ms < 100.0 {
+        format!("{ms:.1}")
+    } else {
+        let n = ms.round() as i64;
+        let s = n.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Prints a table header row plus a separator.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    print_row(cols.iter().map(|s| s.to_string()).collect());
+    println!("{}", "-".repeat(cols.len() * 14));
+}
+
+/// Prints one table row with fixed-width columns.
+pub fn print_row(cells: Vec<String>) {
+    let row: Vec<String> = cells.iter().map(|c| format!("{c:>13}")).collect();
+    println!("{}", row.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_match_paper_style() {
+        assert_eq!(fmt_ms(0.13), "0.13");
+        assert_eq!(fmt_ms(0.013), "0.013");
+        assert_eq!(fmt_ms(30.38), "30.4");
+        assert_eq!(fmt_ms(1984.4), "1,984");
+        assert_eq!(fmt_ms(155.0), "155");
+    }
+}

@@ -1,0 +1,280 @@
+//! Workload construction and engine feeding for the experiments.
+
+use std::sync::Arc;
+use wukong_baselines::{Composite, CompositePlan, CompositeProfile, ExecBreakdown, SparkLike, SparkMode, WukongExt};
+use wukong_benchdata::{CityBench, CityBenchConfig, LsBench, LsBenchConfig, TimedTuple};
+use wukong_core::{EngineConfig, LatencyRecorder, WukongS};
+use wukong_rdf::{StringServer, Timestamp, Triple};
+use wukong_stream::StreamSchema;
+
+/// Experiment scale, from `WUKONG_SCALE` (`tiny` | `small` | `paper`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: sub-second experiments.
+    Tiny,
+    /// Default: seconds per experiment.
+    Small,
+    /// Closer to the paper's proportions: minutes per experiment.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (default `small`).
+    pub fn from_env() -> Scale {
+        match std::env::var("WUKONG_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Small,
+        }
+    }
+
+    /// The LSBench generator configuration at this scale.
+    pub fn ls_config(self) -> LsBenchConfig {
+        match self {
+            Scale::Tiny => LsBenchConfig {
+                users: 200,
+                rate_scale: 0.002,
+                ..LsBenchConfig::default()
+            },
+            Scale::Small => LsBenchConfig {
+                users: 2_000,
+                rate_scale: 0.01,
+                ..LsBenchConfig::default()
+            },
+            Scale::Paper => LsBenchConfig {
+                users: 20_000,
+                posts_per_user: 20,
+                likes_per_user: 20,
+                rate_scale: 0.05,
+                ..LsBenchConfig::default()
+            },
+        }
+    }
+
+    /// Stream time to drive, ms.
+    pub fn ls_duration(self) -> Timestamp {
+        match self {
+            Scale::Tiny => 1_500,
+            Scale::Small => 3_000,
+            Scale::Paper => 5_000,
+        }
+    }
+
+    /// Latency samples per query class.
+    pub fn runs(self) -> usize {
+        match self {
+            Scale::Tiny => 20,
+            Scale::Small => 100,
+            Scale::Paper => 100,
+        }
+    }
+}
+
+/// A fully generated LSBench workload, shareable across engines.
+pub struct LsWorkload {
+    /// The shared string server (all engines must use it).
+    pub strings: Arc<StringServer>,
+    /// The generator (query rendering needs it).
+    pub bench: LsBench,
+    /// The initially stored dataset.
+    pub stored: Vec<Triple>,
+    /// Stream tuples over `[0, duration)`, time-ordered.
+    pub timeline: Vec<TimedTuple>,
+    /// Stream-time extent of the timeline.
+    pub duration: Timestamp,
+}
+
+/// Builds the LSBench workload at `scale`.
+pub fn ls_workload(scale: Scale) -> LsWorkload {
+    ls_workload_with(scale.ls_config(), scale.ls_duration())
+}
+
+/// Builds an LSBench workload with explicit parameters.
+pub fn ls_workload_with(cfg: LsBenchConfig, duration: Timestamp) -> LsWorkload {
+    let strings = Arc::new(StringServer::new());
+    let mut bench = LsBench::new(cfg, Arc::clone(&strings));
+    let stored = bench.stored_triples();
+    let timeline = bench.generate(0, duration);
+    LsWorkload {
+        strings,
+        bench,
+        stored,
+        timeline,
+        duration,
+    }
+}
+
+impl LsWorkload {
+    /// The five stream schemas.
+    pub fn schemas(&self) -> Vec<StreamSchema> {
+        self.bench.schemas()
+    }
+}
+
+/// A fully generated CityBench workload.
+pub struct CityWorkload {
+    /// The shared string server.
+    pub strings: Arc<StringServer>,
+    /// The generator.
+    pub bench: CityBench,
+    /// Stored metadata.
+    pub stored: Vec<Triple>,
+    /// Stream tuples over `[0, duration)`.
+    pub timeline: Vec<TimedTuple>,
+    /// Stream-time extent.
+    pub duration: Timestamp,
+}
+
+/// Builds the CityBench workload (paper-default rates; `scale` only
+/// adjusts the driven duration — the real benchmark is tiny, §6.10).
+pub fn city_workload(scale: Scale) -> CityWorkload {
+    let strings = Arc::new(StringServer::new());
+    let mut bench = CityBench::new(CityBenchConfig::default(), Arc::clone(&strings));
+    let stored = bench.stored_triples();
+    let duration = match scale {
+        Scale::Tiny => 5_000,
+        Scale::Small => 12_000,
+        Scale::Paper => 30_000,
+    };
+    let timeline = bench.generate(0, duration);
+    CityWorkload {
+        strings,
+        bench,
+        stored,
+        timeline,
+        duration,
+    }
+}
+
+impl CityWorkload {
+    /// The eleven stream schemas.
+    pub fn schemas(&self) -> Vec<StreamSchema> {
+        self.bench.schemas()
+    }
+}
+
+/// Boots a Wukong+S deployment and feeds it a workload.
+pub fn feed_engine(
+    cfg: EngineConfig,
+    strings: &Arc<StringServer>,
+    schemas: Vec<StreamSchema>,
+    stored: &[Triple],
+    timeline: &[TimedTuple],
+    duration: Timestamp,
+) -> WukongS {
+    let engine = WukongS::with_strings(cfg, Arc::clone(strings));
+    engine.load_base(stored.iter().copied());
+    for schema in schemas {
+        engine.register_stream(schema);
+    }
+    for t in timeline {
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.advance_time(duration);
+    engine
+}
+
+/// Boots a composite deployment (Storm/Heron+Wukong or CSPARQL-engine)
+/// and feeds it the same workload.
+pub fn feed_composite(
+    profile: CompositeProfile,
+    strings: &Arc<StringServer>,
+    stream_names: &[&str],
+    stored: &[Triple],
+    timeline: &[TimedTuple],
+) -> Composite {
+    let mut c = Composite::new(profile, Arc::clone(strings));
+    c.load_base(stored.iter().copied());
+    for name in stream_names {
+        c.register_stream(*name);
+    }
+    for t in timeline {
+        c.ingest(t.stream, t.triple, t.timestamp);
+    }
+    c
+}
+
+/// Boots a Spark-like deployment and feeds it the same workload.
+pub fn feed_spark(
+    mode: SparkMode,
+    strings: &Arc<StringServer>,
+    stream_names: &[&str],
+    stored: &[Triple],
+    timeline: &[TimedTuple],
+) -> SparkLike {
+    let mut s = SparkLike::new(mode, Arc::clone(strings));
+    s.load_base(stored.iter().copied());
+    for name in stream_names {
+        s.register_stream(*name);
+    }
+    for t in timeline {
+        s.ingest(t.stream, t.triple, t.timestamp);
+    }
+    s
+}
+
+/// Boots a Wukong/Ext deployment and feeds it the same workload.
+pub fn feed_wukong_ext(
+    nodes: usize,
+    strings: &Arc<StringServer>,
+    stream_names: &[&str],
+    stored: &[Triple],
+    timeline: &[TimedTuple],
+) -> WukongExt {
+    let mut e = WukongExt::new(nodes, Arc::clone(strings));
+    e.load_base(stored.iter().copied());
+    for name in stream_names {
+        e.register_stream(*name);
+    }
+    for t in timeline {
+        e.ingest(t.stream, t.triple, t.timestamp);
+    }
+    e
+}
+
+/// Samples a registered Wukong+S query `runs` times.
+pub fn sample_continuous(engine: &WukongS, id: usize, runs: usize) -> LatencyRecorder {
+    let mut rec = LatencyRecorder::new();
+    // One warm-up execution populates the plan cache, as the paper's
+    // repeated-run methodology does.
+    let _ = engine.execute_registered(id);
+    for _ in 0..runs {
+        let (_, ms) = engine.execute_registered(id);
+        rec.record(ms);
+    }
+    rec
+}
+
+/// Samples a composite query `runs` times; returns latencies and the mean
+/// breakdown.
+pub fn sample_composite(
+    c: &Composite,
+    id: usize,
+    now: Timestamp,
+    plan: CompositePlan,
+    runs: usize,
+) -> (LatencyRecorder, ExecBreakdown) {
+    let mut rec = LatencyRecorder::new();
+    let mut sum = ExecBreakdown::default();
+    for _ in 0..runs {
+        let (_, bd) = c.execute(id, now, plan);
+        rec.record(bd.total_ms());
+        sum.stream_ms += bd.stream_ms;
+        sum.store_ms += bd.store_ms;
+        sum.cross_ms += bd.cross_ms;
+        sum.crossings = bd.crossings;
+    }
+    let n = runs.max(1) as f64;
+    sum.stream_ms /= n;
+    sum.store_ms /= n;
+    sum.cross_ms /= n;
+    (rec, sum)
+}
+
+/// The LSBench stream names in engine registration order.
+pub const LS_STREAMS: [&str; 5] = ["PO", "PO-L", "PH", "PH-L", "GPS"];
+
+/// The CityBench stream names in engine registration order.
+pub const CITY_STREAMS: [&str; 11] = [
+    "VT1", "VT2", "WT", "UL", "PK1", "PK2", "PL1", "PL2", "PL3", "PL4", "PL5",
+];

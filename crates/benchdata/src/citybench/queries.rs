@@ -1,0 +1,145 @@
+//! The CityBench continuous query classes C1-C11 (§6.10, Table 9).
+//!
+//! The class mix follows Table 1's stream-usage matrix: most classes join
+//! one or two sensor streams with the stored metadata graph; C10 and C11
+//! are stream-only (their Table 9 rows show no Wukong sub-component).
+//! Windows are the paper's setting: `RANGE 3s STEP 1s`.
+
+use super::CityBench;
+
+/// Number of continuous query classes (C1-C11).
+pub const CONTINUOUS_CLASSES: usize = 11;
+
+const W: &str = "[RANGE 3s STEP 1s]";
+
+/// Renders the continuous query of `class` (1-11).
+///
+/// # Panics
+///
+/// Panics if `class` is outside `1..=11`.
+pub fn continuous_query(b: &CityBench, class: usize, variant: usize) -> String {
+    let s1 = b.vt_sensor_name(0, variant);
+    let s2 = b.vt_sensor_name(1, variant);
+    let lot1 = b.lot_name(0, variant);
+    let user = b.user_name(variant);
+    match class {
+        1 => format!(
+            // Traffic on the roads of two sensors (VT1+VT2+stored).
+            "REGISTER QUERY C1_{variant} SELECT ?R1 ?V1 ?V2 \
+             FROM VT1 {W} FROM VT2 {W} FROM Aarhus \
+             WHERE {{ GRAPH VT1 {{ {s1} speed ?V1 }} . \
+                      GRAPH Aarhus {{ {s1} onRoad ?R1 }} . \
+                      GRAPH VT2 {{ {s2} speed ?V2 }} }}"
+        ),
+        2 => format!(
+            // Congestion detector: slow readings on both streams.
+            "REGISTER QUERY C2_{variant} SELECT ?V1 ?V2 \
+             FROM VT1 {W} FROM VT2 {W} \
+             WHERE {{ GRAPH VT1 {{ {s1} speed ?V1 }} . \
+                      GRAPH VT2 {{ {s2} speed ?V2 }} \
+                      FILTER(?V1 < 30) FILTER(?V2 < 30) }}"
+        ),
+        3 => format!(
+            // Traffic + weather around one sensor's road (VT2+WT+stored).
+            "REGISTER QUERY C3_{variant} SELECT ?R ?V ?T \
+             FROM VT2 {W} FROM WT {W} FROM Aarhus \
+             WHERE {{ GRAPH VT2 {{ {s2} speed ?V }} . \
+                      GRAPH Aarhus {{ {s2} onRoad ?R }} . \
+                      GRAPH WT {{ weather0 temp ?T }} }}"
+        ),
+        4 => format!(
+            // Free parking near a place (PK1+PK2+stored, FILTER).
+            "REGISTER QUERY C4_{variant} SELECT ?L ?P ?V \
+             FROM PK1 {W} FROM PK2 {W} FROM Aarhus \
+             WHERE {{ GRAPH PK1 {{ ?L vac ?V }} . \
+                      GRAPH Aarhus {{ ?L locAt ?P }} \
+                      FILTER(?V > 5) }}"
+        ),
+        5 => format!(
+            // Parking where a user currently is (PK1+UL+stored).
+            "REGISTER QUERY C5_{variant} SELECT ?P ?L ?V \
+             FROM PK1 {W} FROM UL {W} FROM Aarhus \
+             WHERE {{ GRAPH UL {{ {user} at ?P }} . \
+                      GRAPH Aarhus {{ ?L locAt ?P }} . \
+                      GRAPH PK1 {{ ?L vac ?V }} }}"
+        ),
+        6 => format!(
+            // Average vacancy of one lot (PK1+PK2, aggregate).
+            "REGISTER QUERY C6_{variant} SELECT AVG(?V) \
+             FROM PK1 {W} FROM PK2 {W} \
+             WHERE {{ GRAPH PK1 {{ {lot1} vac ?V }} }}"
+        ),
+        7 => format!(
+            // Traffic near parking (VT2+PK1+stored).
+            "REGISTER QUERY C7_{variant} SELECT ?R ?V ?L ?N \
+             FROM VT2 {W} FROM PK1 {W} FROM Aarhus \
+             WHERE {{ GRAPH VT2 {{ {s2} speed ?V }} . \
+                      GRAPH Aarhus {{ {s2} onRoad ?R . ?R conn ?P . ?L locAt ?P }} . \
+                      GRAPH PK1 {{ ?L vac ?N }} }}"
+        ),
+        8 => format!(
+            // Route check: speed on a road with lot state (VT2+PK2+stored).
+            "REGISTER QUERY C8_{variant} SELECT ?V ?N \
+             FROM VT2 {W} FROM PK2 {W} FROM Aarhus \
+             WHERE {{ GRAPH VT2 {{ {s2} speed ?V }} . \
+                      GRAPH PK2 {{ ?L vac ?N }} \
+                      FILTER(?N > 0) }}"
+        ),
+        9 => format!(
+            // Weather where a user is (WT+UL+stored).
+            "REGISTER QUERY C9_{variant} SELECT ?P ?T \
+             FROM WT {W} FROM UL {W} FROM Aarhus \
+             WHERE {{ GRAPH UL {{ {user} at ?P }} . \
+                      GRAPH WT {{ weather0 temp ?T }} }}"
+        ),
+        10 => {
+            // Pollution along a route: one monitored sensor per PL stream
+            // (all five streams, stream-only — Table 9 shows C10 without a
+            // stored-graph component).
+            let sensors: Vec<String> = (0..5)
+                .map(|s| format!("pl{s}s{}", (variant * 11) % b.config().pollution_sensors))
+                .collect();
+            format!(
+                "REGISTER QUERY C10_{variant} SELECT MAX(?V1) MAX(?V2) MAX(?V3) MAX(?V4) MAX(?V5) \
+                 FROM PL1 {W} FROM PL2 {W} FROM PL3 {W} FROM PL4 {W} FROM PL5 {W} \
+                 WHERE {{ GRAPH PL1 {{ {} pol ?V1 }} . GRAPH PL2 {{ {} pol ?V2 }} . \
+                          GRAPH PL3 {{ {} pol ?V3 }} . GRAPH PL4 {{ {} pol ?V4 }} . \
+                          GRAPH PL5 {{ {} pol ?V5 }} }}",
+                sensors[0], sensors[1], sensors[2], sensors[3], sensors[4]
+            )
+        }
+        11 => format!(
+            // Vacancy monitor for one lot (PK1 only, stream-only).
+            "REGISTER QUERY C11_{variant} SELECT ?V \
+             FROM PK1 {W} \
+             WHERE {{ GRAPH PK1 {{ {lot1} vac ?V }} }}"
+        ),
+        _ => panic!("CityBench continuous classes are 1..=11, got {class}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::citybench::CityBenchConfig;
+    use std::sync::Arc;
+    use wukong_rdf::StringServer;
+
+    #[test]
+    fn all_eleven_classes_render() {
+        let b = CityBench::new(CityBenchConfig::default(), Arc::new(StringServer::new()));
+        let mut seen = std::collections::HashSet::new();
+        for c in 1..=CONTINUOUS_CLASSES {
+            let q = continuous_query(&b, c, 0);
+            assert!(q.contains("REGISTER QUERY"));
+            assert!(seen.insert(q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=11")]
+    fn class_bounds_enforced() {
+        let b = CityBench::new(CityBenchConfig::default(), Arc::new(StringServer::new()));
+        continuous_query(&b, 12, 0);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Workload generators for the Wukong+S evaluation (§6.1).
+//!
+//! The paper evaluates on two public RDF streaming benchmarks that this
+//! repository cannot ship (LSBench's S3G2 generator produces billions of
+//! triples; CityBench replays proprietary Aarhus sensor feeds). The
+//! [`lsbench`] and [`citybench`] modules generate synthetic workloads with
+//! the same *schemas*, *stream structure*, *default rates* and *query
+//! classes* — the properties the evaluation's shape depends on — at
+//! configurable scale.
+//!
+//! Both generators are deterministic given a seed, so experiments are
+//! reproducible run-to-run.
+
+pub mod citybench;
+pub mod lsbench;
+pub mod timeline;
+
+pub use citybench::{CityBench, CityBenchConfig};
+pub use lsbench::{LsBench, LsBenchConfig};
+pub use timeline::TimedTuple;

@@ -1,0 +1,151 @@
+//! The LSBench query classes (§6.1-§6.2, Tables 2-4; §6.9, Table 8).
+//!
+//! Continuous classes reproduce the paper's two groups (§6.3):
+//!
+//! - **Group I** (L1-L3): selective — anchored on a constant entity, with
+//!   fixed-size results regardless of total data size.
+//! - **Group II** (L4-L6): non-selective — enumerate a whole stream window
+//!   (and join into the stored graph), so results grow with data size and
+//!   stream rate.
+//!
+//! L1 and L4 touch only streaming data; the others join streams with the
+//! stored graph (the property behind the cross-system cost columns of
+//! Tables 2-4).
+//!
+//! One-shot classes S1-S6 (Table 8) mirror the split for SPARQL over the
+//! stored graph only.
+
+use super::LsBench;
+
+/// Number of continuous query classes (L1-L6).
+pub const CONTINUOUS_CLASSES: usize = 6;
+/// Number of one-shot query classes (S1-S6).
+pub const ONESHOT_CLASSES: usize = 6;
+
+/// Renders the continuous query of `class` (1-6); `variant` randomises the
+/// anchor entity for selective classes so throughput runs spread load.
+///
+/// # Panics
+///
+/// Panics if `class` is outside `1..=6`.
+pub fn continuous_query(b: &LsBench, class: usize, variant: usize) -> String {
+    let u = b.user_name(variant);
+    match class {
+        // Group I: selective.
+        1 => format!(
+            // Stream-only: posts by one user in the window.
+            "REGISTER QUERY L1_{variant} SELECT ?Z \
+             FROM PO [RANGE 1s STEP 100ms] \
+             WHERE {{ GRAPH PO {{ {u} po ?Z }} }}"
+        ),
+        2 => format!(
+            // Stream + store: posts in the window by people {u} follows.
+            "REGISTER QUERY L2_{variant} SELECT ?X ?Z \
+             FROM PO [RANGE 1s STEP 100ms] \
+             FROM X-Lab \
+             WHERE {{ GRAPH X-Lab {{ {u} fo ?X }} . GRAPH PO {{ ?X po ?Z }} }}"
+        ),
+        3 => format!(
+            // Stream + store: likes in the window by people {u} follows.
+            "REGISTER QUERY L3_{variant} SELECT ?Y ?Z \
+             FROM PO-L [RANGE 1s STEP 100ms] \
+             FROM X-Lab \
+             WHERE {{ GRAPH X-Lab {{ {u} fo ?Y }} . GRAPH PO-L {{ ?Y li ?Z }} }}"
+        ),
+        // Group II: non-selective — every class joins two stream patterns
+        // (the stream-stream joins the 2017 Structured Streaming release
+        // rejects, Table 4).
+        4 => format!(
+            // Stream-only: every post in the window with its hashtag.
+            "REGISTER QUERY L4_{variant} SELECT ?X ?Z ?T \
+             FROM PO [RANGE 1s STEP 100ms] \
+             WHERE {{ GRAPH PO {{ ?X po ?Z . ?Z ht ?T }} }}"
+        ),
+        5 => format!(
+            // Fig. 2's QC, unanchored: posts in the window liked by a
+            // follower of the poster. The like window dwarfs the post
+            // window (Fig. 4's GP3 ≫ GP1), which is what makes the
+            // stream-first composite plan explode.
+            "REGISTER QUERY L5_{variant} SELECT ?X ?Y ?Z \
+             FROM PO [RANGE 10s STEP 100ms] \
+             FROM PO-L [RANGE 5s STEP 100ms] \
+             FROM X-Lab \
+             WHERE {{ GRAPH PO {{ ?X po ?Z }} . \
+                      GRAPH X-Lab {{ ?X fo ?Y }} . \
+                      GRAPH PO-L {{ ?Y li ?Z }} }}"
+        ),
+        6 => format!(
+            // Likes joined with the stored post corpus and the poster's
+            // followers, plus photo activity by the liker (largest).
+            "REGISTER QUERY L6_{variant} SELECT ?W ?X ?Y ?Z \
+             FROM PO-L [RANGE 1s STEP 100ms] \
+             FROM PH [RANGE 1s STEP 100ms] \
+             FROM X-Lab \
+             WHERE {{ GRAPH PO-L {{ ?Y li ?Z }} . \
+                      GRAPH X-Lab {{ ?X po ?Z . ?W fo ?X }} . \
+                      GRAPH PH {{ ?Y ph ?F }} }}"
+        ),
+        _ => panic!("LSBench continuous classes are 1..=6, got {class}"),
+    }
+}
+
+/// Renders the one-shot query of `class` (1-6) for Table 8.
+///
+/// # Panics
+///
+/// Panics if `class` is outside `1..=6`.
+pub fn oneshot_query(b: &LsBench, class: usize, variant: usize) -> String {
+    let u = b.user_name(variant);
+    let post = b.post_name(variant);
+    let tag = b.tag_name(variant);
+    match class {
+        // Non-selective: every user and who they follow.
+        1 => "SELECT ?X ?Y WHERE { ?X ty User . ?X fo ?Y }".to_owned(),
+        // Selective: one user's posts.
+        2 => format!("SELECT ?X WHERE {{ {u} po ?X }}"),
+        // Selective: posts by people one user follows.
+        3 => format!("SELECT ?X WHERE {{ {u} fo ?Y . ?Y po ?X }}"),
+        // Non-selective: every post with its hashtag.
+        4 => "SELECT ?X ?T WHERE { ?X ht ?T }".to_owned(),
+        // Selective: who liked one post.
+        5 => format!("SELECT ?Y WHERE {{ ?Y li {post} }}"),
+        // Non-selective with a constant leaf: followers of posters of
+        // tagged posts (the heaviest join).
+        6 => format!("SELECT ?X ?Y ?Z WHERE {{ ?Z ht {tag} . ?Y po ?Z . ?X fo ?Y }}"),
+        _ => panic!("LSBench one-shot classes are 1..=6, got {class}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsbench::LsBenchConfig;
+    use std::sync::Arc;
+    use wukong_rdf::StringServer;
+
+    #[test]
+    fn all_classes_render_and_differ() {
+        let b = LsBench::new(LsBenchConfig::tiny(), Arc::new(StringServer::new()));
+        let mut seen = std::collections::HashSet::new();
+        for c in 1..=CONTINUOUS_CLASSES {
+            assert!(seen.insert(continuous_query(&b, c, 0)));
+        }
+        for c in 1..=ONESHOT_CLASSES {
+            assert!(seen.insert(oneshot_query(&b, c, 0)));
+        }
+    }
+
+    #[test]
+    fn variants_change_selective_classes() {
+        let b = LsBench::new(LsBenchConfig::tiny(), Arc::new(StringServer::new()));
+        assert_ne!(continuous_query(&b, 1, 0), continuous_query(&b, 1, 1));
+        assert_ne!(oneshot_query(&b, 2, 0), oneshot_query(&b, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn out_of_range_class_panics() {
+        let b = LsBench::new(LsBenchConfig::tiny(), Arc::new(StringServer::new()));
+        continuous_query(&b, 7, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared stream-timeline plumbing for the generators.
+
+use wukong_rdf::{StreamId, Timestamp, Triple};
+
+/// One generated stream tuple: which stream, what triple, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedTuple {
+    /// Destination stream.
+    pub stream: StreamId,
+    /// Payload.
+    pub triple: Triple,
+    /// Stream time, ms.
+    pub timestamp: Timestamp,
+}
+
+/// Spreads `rate_per_sec` events uniformly over `[from, to)` milliseconds,
+/// returning their timestamps. Rates below 1/s still emit when the window
+/// is long enough (fractional accumulation from the window start).
+pub fn spread(rate_per_sec: f64, from: Timestamp, to: Timestamp) -> Vec<Timestamp> {
+    if rate_per_sec <= 0.0 || to <= from {
+        return Vec::new();
+    }
+    let per_ms = rate_per_sec / 1000.0;
+    // Absolute event index at a time t is floor(t * per_ms); emitting
+    // events with indices in (idx(from), idx(to)] keeps windows seamless.
+    let start_idx = (from as f64 * per_ms).floor() as u64;
+    let end_idx = (to as f64 * per_ms).floor() as u64;
+    (start_idx + 1..=end_idx)
+        .map(|i| ((i as f64 / per_ms).ceil() as Timestamp).clamp(from + 1, to))
+        .collect()
+}
+
+/// Merges per-stream tuple vectors into one time-ordered timeline.
+pub fn merge(mut streams: Vec<Vec<TimedTuple>>) -> Vec<TimedTuple> {
+    let mut all: Vec<TimedTuple> = streams.drain(..).flatten().collect();
+    all.sort_by_key(|t| t.timestamp);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_matches_rate() {
+        // 100 events/s over 1 s → 100 events.
+        let ts = spread(100.0, 0, 1_000);
+        assert_eq!(ts.len(), 100);
+        assert!(ts.iter().all(|&t| t > 0 && t <= 1_000));
+        // Non-decreasing.
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn spread_windows_are_seamless() {
+        let a = spread(37.0, 0, 500);
+        let b = spread(37.0, 500, 1_000);
+        let whole = spread(37.0, 0, 1_000);
+        assert_eq!(a.len() + b.len(), whole.len());
+    }
+
+    #[test]
+    fn sub_hertz_rates_accumulate() {
+        // 0.5 events/s over 4 s → 2 events.
+        assert_eq!(spread(0.5, 0, 4_000).len(), 2);
+        assert!(spread(0.5, 0, 1_000).len() <= 1);
+    }
+
+    #[test]
+    fn zero_rate_and_empty_window() {
+        assert!(spread(0.0, 0, 1_000).is_empty());
+        assert!(spread(10.0, 100, 100).is_empty());
+    }
+
+    #[test]
+    fn merge_orders_by_time() {
+        use wukong_rdf::{Pid, Vid};
+        let t = |ts| TimedTuple {
+            stream: StreamId(0),
+            triple: Triple::new(Vid(1), Pid(1), Vid(1)),
+            timestamp: ts,
+        };
+        let merged = merge(vec![vec![t(5), t(9)], vec![t(1), t(7)]]);
+        let times: Vec<_> = merged.iter().map(|x| x.timestamp).collect();
+        assert_eq!(times, vec![1, 5, 7, 9]);
+    }
+}

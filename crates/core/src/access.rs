@@ -1,0 +1,140 @@
+//! In-place execution's data access (§5, "Leveraging RDMA").
+//!
+//! [`NodeAccess`] implements [`GraphAccess`] for a query executing
+//! entirely on its home node: local data is read directly, remote stored
+//! data costs two one-sided reads (lookup + value), and remote streaming
+//! data costs a single read thanks to the locally replicated stream index.
+
+use crate::cluster::Cluster;
+use wukong_net::{NodeId, TaskTimer};
+use wukong_query::exec::{ExecContext, GraphAccess, PatternSource};
+use wukong_query::GraphName;
+use wukong_rdf::{Key, Vid};
+
+/// Graph access for a task pinned to one node.
+pub struct NodeAccess<'a> {
+    cluster: &'a Cluster,
+    home: NodeId,
+}
+
+impl<'a> NodeAccess<'a> {
+    /// Creates access for a task on `home`.
+    pub fn new(cluster: &'a Cluster, home: NodeId) -> Self {
+        NodeAccess { cluster, home }
+    }
+
+    /// The home node.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+}
+
+impl GraphAccess for NodeAccess<'_> {
+    fn neighbors(
+        &self,
+        key: Key,
+        src: PatternSource,
+        ctx: &ExecContext,
+        timer: &mut TaskTimer,
+        out: &mut Vec<Vid>,
+    ) {
+        match src {
+            GraphName::Stored => {
+                self.cluster
+                    .stored_neighbors(self.home, key, ctx.sn, timer, out);
+            }
+            GraphName::Stream(i) => {
+                let w = ctx.window(i);
+                self.cluster.stream_neighbors(
+                    self.home,
+                    w.stream.0 as usize,
+                    key,
+                    w.lo,
+                    w.hi,
+                    timer,
+                    out,
+                );
+            }
+        }
+    }
+
+    fn estimate(&self, key: Key, src: PatternSource, ctx: &ExecContext) -> usize {
+        match src {
+            GraphName::Stored => self.cluster.stored_len(key, ctx.sn),
+            GraphName::Stream(i) => {
+                let w = ctx.window(i);
+                self.cluster
+                    .stream_len(w.stream.0 as usize, key, w.lo, w.hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use wukong_query::exec::WindowInstance;
+    use wukong_rdf::{Dir, Pid, StreamId, StreamTuple, Triple};
+    use wukong_store::SnapshotId;
+    use wukong_stream::{dispatch, Batch, Injector, NodeStreamStore, StreamSchema};
+
+    #[test]
+    fn stream_and_stored_access_compose() {
+        let cluster = Cluster::new(&EngineConfig::single_node());
+        // Stored: 1-fo-2. Stream: 1-po-3 at ts 80 (batch 100).
+        cluster.load_base_triple(Triple::new(Vid(1), Pid(2), Vid(2)));
+        let sidx = cluster.add_stream(StreamSchema::timeless(StreamId(0), "S", 100));
+        let stream = cluster.stream(sidx);
+
+        let batch = Batch {
+            stream: StreamId(0),
+            timestamp: 100,
+            tuples: vec![StreamTuple::timeless(Triple::new(Vid(1), Pid(4), Vid(3)), 80)],
+            discarded: 0,
+        };
+        let subs = dispatch(&batch, cluster.shard_map());
+        let mut store = NodeStreamStore::new(1 << 20);
+        let (ib, _) = Injector.apply(
+            cluster.shard(0),
+            &mut store,
+            &subs[0],
+            100,
+            SnapshotId(1),
+        );
+        stream.indexes[0].write().push_batch(ib);
+
+        let access = NodeAccess::new(&cluster, NodeId(0));
+        let ctx = ExecContext {
+            sn: SnapshotId(1),
+            windows: vec![WindowInstance {
+                stream: StreamId(0),
+                lo: 1,
+                hi: 100,
+            }],
+        };
+        let mut timer = TaskTimer::start();
+        let mut out = Vec::new();
+        access.neighbors(
+            Key::new(Vid(1), Pid(4), Dir::Out),
+            GraphName::Stream(0),
+            &ctx,
+            &mut timer,
+            &mut out,
+        );
+        assert_eq!(out, vec![Vid(3)]);
+        out.clear();
+        access.neighbors(
+            Key::new(Vid(1), Pid(2), Dir::Out),
+            GraphName::Stored,
+            &ctx,
+            &mut timer,
+            &mut out,
+        );
+        assert_eq!(out, vec![Vid(2)]);
+        assert_eq!(
+            access.estimate(Key::new(Vid(1), Pid(4), Dir::Out), GraphName::Stream(0), &ctx),
+            1
+        );
+    }
+}

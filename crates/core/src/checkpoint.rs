@@ -1,0 +1,286 @@
+//! Fault tolerance: logging, checkpointing, recovery (§5).
+//!
+//! Wukong+S assumes upstream backup at the sources and provides
+//! at-least-once semantics to continuous queries. The engine logs, per
+//! machine and in the background, (a) every registered continuous query
+//! and (b) the streaming data injected since the last checkpoint, plus the
+//! local/stable vector timestamps. Recovery reloads the initial RDF data,
+//! replays checkpoints in order, re-registers the queries and restores the
+//! timestamps.
+//!
+//! The wire format is a small hand-rolled binary encoding over the
+//! `bytes` crate (the workspace deliberately carries no serde *format*
+//! crate).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use wukong_rdf::{Pid, StreamTuple, Timestamp, Triple, TupleKind, Vid};
+
+/// Magic number heading every checkpoint.
+const MAGIC: u32 = 0x574b_5343; // "WKSC"
+const VERSION: u8 = 2;
+
+/// One logged stream batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedBatch {
+    /// Cluster stream index.
+    pub stream: u16,
+    /// Batch timestamp.
+    pub timestamp: Timestamp,
+    /// The batch's tuples (both timing and timeless — both must replay).
+    pub tuples: Vec<StreamTuple>,
+}
+
+/// A registered query as persisted: its text plus, for `CONSTRUCT`
+/// queries, the derived stream its firings feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedQuery {
+    /// The original C-SPARQL text.
+    pub text: String,
+    /// Derived-stream target (cluster stream index), if any.
+    pub construct_target: Option<u16>,
+}
+
+/// A durable checkpoint of the engine's streaming state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// Per-node local VTS entries (`[node][stream]`).
+    pub local_vts: Vec<Vec<Timestamp>>,
+    /// Registered continuous queries, in registration order.
+    pub queries: Vec<LoggedQuery>,
+    /// Stream batches since the previous checkpoint, in injection order.
+    pub batches: Vec<LoggedBatch>,
+}
+
+/// Errors decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with the checkpoint magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// The buffer ended mid-record.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a Wukong+S checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadUtf8 => write!(f, "invalid UTF-8 in checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Serialises the checkpoint.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u32(MAGIC);
+        b.put_u8(VERSION);
+
+        b.put_u16(self.local_vts.len() as u16);
+        b.put_u16(self.local_vts.first().map(Vec::len).unwrap_or(0) as u16);
+        for node in &self.local_vts {
+            for &ts in node {
+                b.put_u64(ts);
+            }
+        }
+
+        b.put_u32(self.queries.len() as u32);
+        for q in &self.queries {
+            b.put_u32(q.text.len() as u32);
+            b.put_slice(q.text.as_bytes());
+            match q.construct_target {
+                Some(t) => {
+                    b.put_u8(1);
+                    b.put_u16(t);
+                }
+                None => b.put_u8(0),
+            }
+        }
+
+        b.put_u32(self.batches.len() as u32);
+        for batch in &self.batches {
+            b.put_u16(batch.stream);
+            b.put_u64(batch.timestamp);
+            b.put_u32(batch.tuples.len() as u32);
+            for t in &batch.tuples {
+                b.put_u64(t.triple.s.0);
+                b.put_u64(t.triple.p.0);
+                b.put_u64(t.triple.o.0);
+                b.put_u64(t.timestamp);
+                b.put_u8(match t.kind {
+                    TupleKind::Timeless => 0,
+                    TupleKind::Timing => 1,
+                });
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserialises a checkpoint.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CheckpointError> {
+        fn need(buf: &[u8], n: usize) -> Result<(), CheckpointError> {
+            if buf.remaining() < n {
+                Err(CheckpointError::Truncated)
+            } else {
+                Ok(())
+            }
+        }
+
+        need(buf, 5)?;
+        if buf.get_u32() != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let v = buf.get_u8();
+        if v != VERSION {
+            return Err(CheckpointError::BadVersion(v));
+        }
+
+        need(buf, 4)?;
+        let nodes = buf.get_u16() as usize;
+        let streams = buf.get_u16() as usize;
+        let mut local_vts = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            need(buf, streams * 8)?;
+            local_vts.push((0..streams).map(|_| buf.get_u64()).collect());
+        }
+
+        need(buf, 4)?;
+        let nq = buf.get_u32() as usize;
+        let mut queries = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            need(buf, 4)?;
+            let len = buf.get_u32() as usize;
+            need(buf, len)?;
+            let text = std::str::from_utf8(&buf[..len])
+                .map_err(|_| CheckpointError::BadUtf8)?
+                .to_owned();
+            buf.advance(len);
+            need(buf, 1)?;
+            let construct_target = match buf.get_u8() {
+                0 => None,
+                _ => {
+                    need(buf, 2)?;
+                    Some(buf.get_u16())
+                }
+            };
+            queries.push(LoggedQuery {
+                text,
+                construct_target,
+            });
+        }
+
+        need(buf, 4)?;
+        let nb = buf.get_u32() as usize;
+        let mut batches = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            need(buf, 14)?;
+            let stream = buf.get_u16();
+            let timestamp = buf.get_u64();
+            let nt = buf.get_u32() as usize;
+            need(buf, nt * 33)?;
+            let mut tuples = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                let s = Vid(buf.get_u64());
+                let p = Pid(buf.get_u64());
+                let o = Vid(buf.get_u64());
+                let ts = buf.get_u64();
+                let kind = match buf.get_u8() {
+                    0 => TupleKind::Timeless,
+                    _ => TupleKind::Timing,
+                };
+                tuples.push(StreamTuple {
+                    triple: Triple::new(s, p, o),
+                    timestamp: ts,
+                    kind,
+                });
+            }
+            batches.push(LoggedBatch {
+                stream,
+                timestamp,
+                tuples,
+            });
+        }
+
+        Ok(Checkpoint {
+            local_vts,
+            queries,
+            batches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            local_vts: vec![vec![100, 50], vec![100, 50]],
+            queries: vec![
+                LoggedQuery {
+                    text: "REGISTER QUERY q SELECT ?X …".into(),
+                    construct_target: None,
+                },
+                LoggedQuery {
+                    text: "REGISTER QUERY d CONSTRUCT { ?X a ?Y } …".into(),
+                    construct_target: Some(3),
+                },
+            ],
+            batches: vec![LoggedBatch {
+                stream: 1,
+                timestamp: 100,
+                tuples: vec![
+                    StreamTuple::timeless(Triple::new(Vid(1), Pid(2), Vid(3)), 80),
+                    StreamTuple::timing(Triple::new(Vid(4), Pid(5), Vid(6)), 90),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let bytes = c.encode();
+        assert_eq!(Checkpoint::decode(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = Checkpoint::default();
+        assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            Checkpoint::decode(&[0, 0, 0, 0, 1]),
+            Err(CheckpointError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            match Checkpoint::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(c) => panic!("decode of {cut}-byte prefix unexpectedly succeeded: {c:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = sample().encode().to_vec();
+        b[4] = 99;
+        assert_eq!(Checkpoint::decode(&b), Err(CheckpointError::BadVersion(99)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Engine configuration.
+
+use wukong_net::NetworkProfile;
+use wukong_stream::StalenessBound;
+
+/// How queries execute across the cluster (§5, "Leveraging RDMA").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Per-query heuristic: in-place for selective queries, fork-join for
+    /// queries that start from an index scan over the stored graph.
+    Auto,
+    /// Always single-worker in-place execution with one-sided reads.
+    InPlace,
+    /// Always distributed fork-join execution (the paper's Non-RDMA mode
+    /// enforces this, §6.2 Table 5).
+    ForkJoin,
+}
+
+/// Static configuration of a Wukong+S deployment.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of (simulated) cluster nodes.
+    pub nodes: usize,
+    /// Key-space partitions per shard (≥ 1).
+    pub partitions_per_shard: usize,
+    /// Network cost model.
+    pub network: NetworkProfile,
+    /// Execution-mode policy.
+    pub exec_mode: ExecMode,
+    /// SN-VTS plan staleness bound (batches per snapshot).
+    pub staleness: StalenessBound,
+    /// Transient-store ring budget per (node, stream), bytes.
+    pub transient_budget_bytes: usize,
+    /// Sweep transient slices / stream-index batches every this many
+    /// batches per stream (the periodic background GC).
+    pub gc_every_batches: u64,
+    /// Extra history kept beyond the widest registered window, ms.
+    pub gc_slack_ms: u64,
+    /// Enable checkpoint logging (fault tolerance, §5). Adds the paper's
+    /// ~0.3 ms per-batch logging delay to injection.
+    pub fault_tolerance: bool,
+    /// Replicate stream indexes to subscriber nodes (locality-aware
+    /// partitioning, §4.2). Off reproduces the "partitioned stream index"
+    /// strawman that pays an extra RDMA read per remote window lookup.
+    pub replicate_stream_indexes: bool,
+    /// Worker cores serving one continuous query on each node. The paper
+    /// restricts this to 1 by default (queries are light-weight and run
+    /// concurrently) and shows that 4 cores speed the group II queries up
+    /// ~3× when low latency is critical (§6.4).
+    pub cores_per_query: usize,
+}
+
+impl EngineConfig {
+    /// A single-node RDMA deployment with small defaults (tests/examples).
+    pub fn single_node() -> Self {
+        EngineConfig {
+            nodes: 1,
+            partitions_per_shard: 8,
+            network: NetworkProfile::rdma(),
+            exec_mode: ExecMode::Auto,
+            staleness: StalenessBound(1),
+            transient_budget_bytes: 64 << 20,
+            gc_every_batches: 16,
+            gc_slack_ms: 1_000,
+            fault_tolerance: false,
+            replicate_stream_indexes: true,
+            cores_per_query: 1,
+        }
+    }
+
+    /// An `n`-node RDMA cluster (the paper's default fabric).
+    pub fn cluster(n: usize) -> Self {
+        EngineConfig {
+            nodes: n,
+            ..Self::single_node()
+        }
+    }
+
+    /// The paper's Non-RDMA configuration: TCP costs + forced fork-join.
+    pub fn cluster_tcp(n: usize) -> Self {
+        EngineConfig {
+            nodes: n,
+            network: NetworkProfile::tcp(),
+            exec_mode: ExecMode::ForkJoin,
+            ..Self::single_node()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let c = EngineConfig::cluster(8);
+        assert_eq!(c.nodes, 8);
+        assert!(c.network.one_sided_available);
+        let t = EngineConfig::cluster_tcp(4);
+        assert!(!t.network.one_sided_available);
+        assert_eq!(t.exec_mode, ExecMode::ForkJoin);
+    }
+}

@@ -1,0 +1,1226 @@
+//! The Wukong+S engine: registration, ingestion, triggering, execution.
+//!
+//! One [`WukongS`] value is a whole deployment. All methods take `&self`;
+//! internal locks keep the streaming pipeline serialised while queries
+//! execute concurrently against the shared hybrid store — the paper's
+//! decentralised architecture where "all streaming and stored data will be
+//! shared by concurrent queries" (§2.2).
+
+use crate::access::NodeAccess;
+use crate::checkpoint::{Checkpoint, LoggedBatch, LoggedQuery};
+use crate::cluster::Cluster;
+use crate::config::{EngineConfig, ExecMode};
+use crate::forkjoin::execute_forkjoin;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use wukong_net::{NodeId, TaskTimer};
+use wukong_query::exec::{ExecContext, StringLiteralResolver, WindowInstance};
+use wukong_query::{
+    parse_query, plan_query, Plan, Query, QueryError, QueryKind, ResultSet,
+};
+use wukong_rdf::{StreamId, StringServer, Timestamp, Triple};
+use wukong_store::gc;
+use wukong_stream::window::StreamWindow;
+use wukong_stream::{
+    dispatch, Adaptor, Batch, Coordinator, InjectStats, StreamSchema, WindowState,
+};
+
+/// Handle of a registered continuous query.
+pub type ContinuousId = usize;
+
+/// Simulated per-batch logging delay under fault tolerance (§6.8 measures
+/// ≈ 0.3 ms per batch on the paper's testbed).
+const LOGGING_DELAY_NS: u64 = 300_000;
+
+/// Operational snapshot of a running deployment (see [`WukongS::stats`]).
+#[derive(Debug, Clone)]
+pub struct DeploymentStats {
+    /// Simulated cluster nodes.
+    pub nodes: usize,
+    /// Registered streams.
+    pub streams: usize,
+    /// Registered continuous queries.
+    pub continuous_queries: usize,
+    /// Triples in the persistent store (initial + absorbed).
+    pub stored_triples: u64,
+    /// Persistent-store heap bytes across shards.
+    pub store_bytes: usize,
+    /// Stream-index heap bytes (one canonical copy).
+    pub stream_index_bytes: usize,
+    /// Transient-ring heap bytes across nodes.
+    pub transient_bytes: usize,
+    /// Raw (textual) stream bytes received so far.
+    pub raw_stream_bytes: usize,
+    /// The stable snapshot number.
+    pub stable_sn: wukong_store::SnapshotId,
+    /// Stream batches processed in total.
+    pub batches_processed: u64,
+    /// Fabric operation counters.
+    pub fabric: wukong_net::MetricsSnapshot,
+}
+
+/// One execution of a continuous query.
+#[derive(Debug, Clone)]
+pub struct Firing {
+    /// The registered query that fired.
+    pub query: ContinuousId,
+    /// Its `REGISTER QUERY` name, if any.
+    pub name: Option<String>,
+    /// End timestamp (inclusive) of the fired windows.
+    pub window_end: Timestamp,
+    /// The results.
+    pub results: ResultSet,
+    /// Total latency: real compute + charged network time, ms.
+    pub latency_ms: f64,
+}
+
+struct Registered {
+    text: String,
+    query: Query,
+    /// Query-local stream index → cluster stream index.
+    stream_map: Vec<usize>,
+    window: Mutex<WindowState>,
+    home: NodeId,
+    plan: Mutex<Option<Plan>>,
+    /// Set when the query is unregistered; retired queries stop firing
+    /// and no longer pin GC horizons or index replication.
+    retired: std::sync::atomic::AtomicBool,
+    /// For CONSTRUCT queries: the derived stream firings feed.
+    construct_target: Option<StreamId>,
+    /// Rows emitted by the previous firing (IStream semantics: each
+    /// firing emits only results that were not in the previous window).
+    last_emitted: Mutex<std::collections::HashSet<Vec<wukong_rdf::Vid>>>,
+}
+
+struct Pipeline {
+    adaptors: Vec<Adaptor>,
+    coordinator: Coordinator,
+    /// Stalled batches per stream, FIFO (injection order within a stream
+    /// is a consistency requirement, §4.3).
+    pending: Vec<std::collections::VecDeque<Batch>>,
+    batches_done: Vec<u64>,
+    inject_stats: Vec<InjectStats>,
+    /// Injection-time consolidation horizon (stable SN − 1).
+    merge_upto: Option<wukong_store::SnapshotId>,
+    /// Batches logged since the last checkpoint (fault tolerance).
+    log: Vec<LoggedBatch>,
+}
+
+/// A Wukong+S deployment.
+pub struct WukongS {
+    cfg: EngineConfig,
+    cluster: Arc<Cluster>,
+    pipeline: Mutex<Pipeline>,
+    registry: RwLock<Vec<Arc<Registered>>>,
+    next_home: AtomicUsize,
+    checkpoints: Mutex<Vec<Bytes>>,
+}
+
+impl WukongS {
+    /// Boots a deployment.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_strings(cfg, Arc::new(StringServer::new()))
+    }
+
+    /// Boots a deployment sharing an existing string server (workload
+    /// generators intern their entities before the engine exists).
+    pub fn with_strings(cfg: EngineConfig, strings: Arc<StringServer>) -> Self {
+        let cluster = Arc::new(Cluster::new_with_strings(&cfg, strings));
+        let coordinator = Coordinator::new(cfg.nodes, Vec::new(), cfg.staleness);
+        WukongS {
+            cluster,
+            pipeline: Mutex::new(Pipeline {
+                adaptors: Vec::new(),
+                coordinator,
+                pending: Vec::new(),
+                batches_done: Vec::new(),
+                inject_stats: Vec::new(),
+                merge_upto: None,
+                log: Vec::new(),
+            }),
+            registry: RwLock::new(Vec::new()),
+            next_home: AtomicUsize::new(0),
+            checkpoints: Mutex::new(Vec::new()),
+            cfg,
+        }
+    }
+
+    /// The engine's string server (intern data and query names here).
+    pub fn strings(&self) -> &Arc<StringServer> {
+        self.cluster.strings()
+    }
+
+    /// The underlying cluster (metrics, memory accounting).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The configuration this deployment runs under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Loads initial stored data (snapshot 0).
+    pub fn load_base(&self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.cluster.load_base_triple(t);
+        }
+    }
+
+    /// Registers a stream; the returned ID doubles as the cluster stream
+    /// index (any ID in `schema` is overwritten).
+    pub fn register_stream(&self, mut schema: StreamSchema) -> StreamId {
+        let mut pl = self.pipeline.lock();
+        let idx = self.cluster.stream_count();
+        schema.id = StreamId(idx as u16);
+        let interval = schema.batch_interval_ms;
+        let cidx = self.cluster.add_stream(schema.clone());
+        debug_assert_eq!(cidx, idx);
+        pl.adaptors.push(Adaptor::new(schema));
+        pl.coordinator.add_stream(interval);
+        pl.pending.push(Default::default());
+        pl.batches_done.push(0);
+        pl.inject_stats.push(InjectStats::default());
+        StreamId(idx as u16)
+    }
+
+    /// Feeds one raw tuple into a stream, pumping any batches it seals.
+    ///
+    /// Streams share one time axis: observing time `ts` on any stream
+    /// also heartbeats every other stream up to `ts` minus one of its
+    /// batch intervals (the skew allowance), so quiet streams — e.g. a
+    /// derived stream that has not emitted yet — keep sealing empty
+    /// batches and never stall the SN-VTS plan (Fig. 11's injector
+    /// stall). Tuples arriving within the allowance still land in an
+    /// open batch.
+    pub fn ingest(&self, stream: StreamId, triple: Triple, ts: Timestamp) {
+        let mut pl = self.pipeline.lock();
+        let mut sealed = pl.adaptors[stream.0 as usize].push(triple, ts);
+        for (i, a) in pl.adaptors.iter_mut().enumerate() {
+            if i != stream.0 as usize {
+                let horizon = ts.saturating_sub(a.schema().batch_interval_ms);
+                sealed.extend(a.advance_to(horizon));
+            }
+        }
+        sealed.sort_by_key(|b| b.timestamp);
+        for b in sealed {
+            self.enqueue_batch(&mut pl, b);
+        }
+        self.drain_pending(&mut pl);
+    }
+
+    /// Advances every stream's clock to `ts`, sealing quiet batches (the
+    /// heartbeat that keeps the VTS — and therefore visibility — moving).
+    pub fn advance_time(&self, ts: Timestamp) {
+        let mut pl = self.pipeline.lock();
+        let mut sealed = Vec::new();
+        for a in &mut pl.adaptors {
+            sealed.extend(a.advance_to(ts));
+        }
+        // Preserve cross-stream time order for snapshot assignment.
+        sealed.sort_by_key(|b| b.timestamp);
+        for b in sealed {
+            self.enqueue_batch(&mut pl, b);
+        }
+        self.drain_pending(&mut pl);
+    }
+
+    /// Raw arrival volume of a batch in its textual RDF form (Table 7
+    /// compares the index against the data as it arrives on the wire:
+    /// N-Triples-style lines with IRI framing and a timestamp).
+    fn textual_bytes(&self, batch: &Batch) -> u64 {
+        const FRAMING: u64 = 24; // brackets, separators, timestamp digits
+        // Workload generators intern short local names; on the wire each
+        // term carries its namespace IRI (LSBench's raw data averages
+        // ~174 B/triple: 3.75 B triples = 653 GB raw, 6.1).
+        const IRI_PREFIX: u64 = 30;
+        let ss = self.strings();
+        batch
+            .tuples
+            .iter()
+            .map(|t| {
+                let len = |r: Result<String, _>| r.map(|s| s.len() as u64).unwrap_or(8);
+                len(ss.entity_name(t.triple.s))
+                    + len(ss.predicate_name(t.triple.p))
+                    + len(ss.entity_name(t.triple.o))
+                    + 3 * IRI_PREFIX
+                    + FRAMING
+            })
+            .sum()
+    }
+
+    fn enqueue_batch(&self, pl: &mut Pipeline, batch: Batch) {
+        let s = batch.stream.0 as usize;
+        pl.pending[s].push_back(batch);
+    }
+
+    /// Processes pending batches until no stream can make progress.
+    fn drain_pending(&self, pl: &mut Pipeline) {
+        loop {
+            let mut progressed = false;
+            for s in 0..pl.pending.len() {
+                while let Some(front) = pl.pending[s].front() {
+                    let sn = pl.coordinator.snapshot_for(s, front.timestamp);
+                    match sn {
+                        Some(sn) => {
+                            let batch = pl.pending[s].pop_front().expect("front checked");
+                            self.process_batch(pl, batch, sn);
+                            progressed = true;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn process_batch(&self, pl: &mut Pipeline, batch: Batch, sn: wukong_store::SnapshotId) {
+        let s = batch.stream.0 as usize;
+        let stream = self.cluster.stream(s);
+        *stream.raw_bytes.write() += self.textual_bytes(&batch);
+
+        if self.cfg.fault_tolerance {
+            pl.log.push(LoggedBatch {
+                stream: s as u16,
+                timestamp: batch.timestamp,
+                tuples: batch.tuples.clone(),
+            });
+            pl.inject_stats[s].inject_ns += LOGGING_DELAY_NS;
+        }
+
+        // Dispatch: the stream enters at one node; each non-empty remote
+        // sub-batch costs a message (background cost, counted in fabric
+        // metrics but not on any query's latency).
+        let subs = dispatch(&batch, self.cluster.shard_map());
+        let entry = NodeId((s % self.cluster.nodes()) as u16);
+        let mut scratch = TaskTimer::start();
+        for sub in &subs {
+            if !sub.tuples.is_empty() {
+                self.cluster.fabric().charge_message(
+                    entry,
+                    NodeId(sub.node),
+                    sub.wire_bytes(),
+                    &mut scratch,
+                );
+            }
+        }
+
+        // Inject on every node, collecting per-node receipts and stats.
+        // Each node applies only the key updates it owns; first-edge
+        // events produce index-vertex updates that phase 2 routes to the
+        // index key's owner (a triple's four key updates may live on
+        // three different nodes).
+        let merge = pl.merge_upto;
+        let ts = batch.timestamp;
+        let nodes = self.cluster.nodes();
+        let mut receipts: Vec<Vec<wukong_store::base::AppendReceipt>> =
+            vec![Vec::new(); nodes];
+        let mut stats: Vec<InjectStats> = vec![InjectStats::default(); nodes];
+        let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
+        for sub in &subs {
+            let node = sub.node;
+            let owns = |k: wukong_rdf::Key| self.cluster.shard_map().node_of_key(k) == node;
+            let shard = self.cluster.shard(node);
+            let t0 = std::time::Instant::now();
+            for t in sub.tuples.iter().filter(|t| t.is_timeless()) {
+                let tr = t.triple;
+                let out_key = tr.out_key();
+                if owns(out_key) {
+                    shard.count_triple();
+                    stats[node as usize].timeless += 1;
+                    let (off, first) = shard.append_owned(out_key, tr.o, sn, merge);
+                    receipts[node as usize].push(wukong_store::base::AppendReceipt {
+                        key: out_key,
+                        offset: off,
+                    });
+                    if first {
+                        index_updates
+                            .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::Out), tr.s));
+                    }
+                }
+                let in_key = tr.in_key();
+                if owns(in_key) {
+                    let (off, first) = shard.append_owned(in_key, tr.s, sn, merge);
+                    receipts[node as usize].push(wukong_store::base::AppendReceipt {
+                        key: in_key,
+                        offset: off,
+                    });
+                    if first {
+                        index_updates
+                            .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::In), tr.o));
+                    }
+                }
+            }
+            // Timing tuples into the transient ring (owned entries only).
+            let timing: Vec<wukong_rdf::StreamTuple> = sub
+                .tuples
+                .iter()
+                .filter(|t| !t.is_timeless())
+                .copied()
+                .collect();
+            stats[node as usize].timing += timing.len();
+            stream.transients[node as usize].write().push_batch(
+                wukong_store::TransientSlice::from_batch_filtered(ts, &timing, owns),
+            );
+            stats[node as usize].inject_ns += t0.elapsed().as_nanos() as u64;
+        }
+
+        // Phase 2: apply index-vertex updates on their owners.
+        for (key, v) in index_updates {
+            let node = self.cluster.shard_map().node_of_key(key);
+            let t0 = std::time::Instant::now();
+            let (off, _) = self.cluster.shard(node).append_owned(key, v, sn, merge);
+            receipts[node as usize].push(wukong_store::base::AppendReceipt { key, offset: off });
+            stats[node as usize].inject_ns += t0.elapsed().as_nanos() as u64;
+        }
+
+        // Build and install each node's stream-index batch.
+        let results: Vec<(wukong_store::IndexBatch, InjectStats)> = receipts
+            .iter()
+            .zip(stats.iter())
+            .enumerate()
+            .map(|(node, (rc, st))| {
+                let t0 = std::time::Instant::now();
+                let ib = wukong_store::IndexBatch::from_receipts(ts, rc);
+                stream.indexes[node].write().push_batch(ib.clone());
+                let mut st = *st;
+                st.index_ns += t0.elapsed().as_nanos() as u64;
+                (ib, st)
+            })
+            .collect();
+
+        // Replication of index batches to subscriber nodes (§4.2): one
+        // message per (origin, subscriber) pair carrying the entries.
+        if self.cluster.replicate_indexes {
+            let subscribers = stream.subscribers.read().clone();
+            for (m, (ib, _)) in results.iter().enumerate() {
+                if ib.entry_count() == 0 {
+                    continue;
+                }
+                for &q in &subscribers {
+                    if q as usize != m {
+                        self.cluster.fabric().charge_message(
+                            NodeId(m as u16),
+                            NodeId(q),
+                            ib.heap_bytes(),
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Coordinator bookkeeping: per-node insertion reports.
+        for (node, (_, stats)) in results.into_iter().enumerate() {
+            pl.inject_stats[s].add(&stats);
+            let ev = pl.coordinator.on_batch_inserted(node, s, ts);
+            if let Some(upto) = ev.consolidate_upto {
+                pl.merge_upto = Some(upto);
+            }
+        }
+
+        // Periodic GC of this stream's transient slices and index batches.
+        pl.batches_done[s] += 1;
+        if pl.batches_done[s].is_multiple_of(self.cfg.gc_every_batches) {
+            self.collect_garbage(pl, s);
+        }
+    }
+
+    fn collect_garbage(&self, pl: &Pipeline, s: usize) {
+        let stable_ts = pl.coordinator.stable_vts().get(s);
+        // With no registered query over the stream the expiry horizon is
+        // undefined — keep everything (the transient ring's budget still
+        // bounds memory) so a query registered later, or re-registered
+        // after recovery, finds its window intact.
+        let max_range = match self
+            .registry
+            .read()
+            .iter()
+            .filter(|r| !r.retired.load(Ordering::Relaxed) && r.stream_map.contains(&s))
+            .map(|r| r.query.max_range_ms())
+            .max()
+        {
+            Some(m) => m,
+            None => return,
+        };
+        let expiry = gc::expiry_horizon(stable_ts, [max_range + self.cfg.gc_slack_ms]);
+        let stream = self.cluster.stream(s);
+        for n in 0..self.cluster.nodes() {
+            let mut transient = stream.transients[n].write();
+            let mut index = stream.indexes[n].write();
+            gc::sweep(&mut transient, &mut index, expiry);
+        }
+    }
+
+    /// Registers a continuous query from C-SPARQL text.
+    ///
+    /// The query's `FROM <name> [RANGE … STEP …]` clauses must reference
+    /// streams previously registered via [`WukongS::register_stream`]
+    /// (matched by schema name).
+    pub fn register_continuous(&self, text: &str) -> Result<ContinuousId, QueryError> {
+        self.register_with_target(text, None)
+    }
+
+    /// Registers a continuous `CONSTRUCT` query whose firings instantiate
+    /// the template and feed the derived stream `target` — C-SPARQL's
+    /// stream-composition pattern: downstream queries consume `target`
+    /// like any other stream.
+    ///
+    /// The emitted tuples carry the firing's window-end timestamp.
+    pub fn register_construct(
+        &self,
+        text: &str,
+        target: StreamId,
+    ) -> Result<ContinuousId, QueryError> {
+        if target.0 as usize >= self.cluster.stream_count() {
+            return Err(QueryError::Unresolved(format!(
+                "derived stream {target:?} is not registered"
+            )));
+        }
+        self.register_with_target(text, Some(target))
+    }
+
+    fn register_with_target(
+        &self,
+        text: &str,
+        target: Option<StreamId>,
+    ) -> Result<ContinuousId, QueryError> {
+        let query = parse_query(self.strings(), text)?;
+        if target.is_some() && query.construct.is_empty() {
+            return Err(QueryError::Unsupported(
+                "register_construct needs a CONSTRUCT query".into(),
+            ));
+        }
+        if query.kind != QueryKind::Continuous {
+            return Err(QueryError::Unsupported(
+                "use one_shot() for non-registered queries".into(),
+            ));
+        }
+        if !query.touches_stream() {
+            return Err(QueryError::Unsupported(
+                "a continuous query must read at least one stream".into(),
+            ));
+        }
+
+        // Resolve stream names against registered schemas.
+        let streams = self.cluster.streams();
+        let mut stream_map = Vec::with_capacity(query.streams.len());
+        for (name, _) in &query.streams {
+            let idx = streams
+                .iter()
+                .position(|s| s.schema.name == *name)
+                .ok_or_else(|| QueryError::Unresolved(format!("stream {name}")))?;
+            stream_map.push(idx);
+        }
+
+        // Home node: in-place execution dispatches a query to the node
+        // owning its constant anchor ("Wukong+S mainly uses a single
+        // thread on a single machine to handle a query", §5), so
+        // selective queries complete without remote reads; unanchored
+        // queries spread round-robin.
+        let home = self.home_for(&query);
+        for &s in &stream_map {
+            self.cluster.stream(s).subscribers.write().insert(home.0);
+        }
+
+        // Window state anchored at the current stable position.
+        let stable = {
+            let pl = self.pipeline.lock();
+            pl.coordinator.stable_vts().clone()
+        };
+        let registered_at = stream_map
+            .iter()
+            .map(|&s| stable.get(s))
+            .min()
+            .unwrap_or(0);
+        let windows = query
+            .streams
+            .iter()
+            .zip(&stream_map)
+            .map(|((_, w), &s)| StreamWindow {
+                stream: s,
+                range_ms: w.range_ms,
+                step_ms: w.step_ms,
+            })
+            .collect();
+
+        let mut registry = self.registry.write();
+        let id = registry.len();
+        registry.push(Arc::new(Registered {
+            text: text.to_owned(),
+            query,
+            stream_map,
+            window: Mutex::new(WindowState::new(windows, registered_at)),
+            home,
+            plan: Mutex::new(None),
+            retired: std::sync::atomic::AtomicBool::new(false),
+            construct_target: target,
+            last_emitted: Mutex::new(std::collections::HashSet::new()),
+        }));
+        Ok(id)
+    }
+
+    /// Unregisters a continuous query: it stops firing, stops pinning GC
+    /// horizons, and its home node drops stream-index subscriptions no
+    /// other query of that node still needs.
+    pub fn unregister_continuous(&self, id: ContinuousId) {
+        let registry = self.registry.read();
+        let Some(r) = registry.get(id) else { return };
+        r.retired.store(true, Ordering::Relaxed);
+        for &s in &r.stream_map {
+            let still_needed = registry.iter().any(|other| {
+                !other.retired.load(Ordering::Relaxed)
+                    && other.home == r.home
+                    && other.stream_map.contains(&s)
+            });
+            if !still_needed {
+                self.cluster.stream(s).subscribers.write().remove(&r.home.0);
+            }
+        }
+    }
+
+    /// Number of live (non-retired) continuous queries.
+    pub fn continuous_count(&self) -> usize {
+        self.registry
+            .read()
+            .iter()
+            .filter(|r| !r.retired.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// The node a query executes on: the owner of its first constant
+    /// anchor, or round-robin when nothing anchors it.
+    fn home_for(&self, query: &Query) -> NodeId {
+        for p in &query.patterns {
+            for term in [p.s, p.o] {
+                if let wukong_query::Term::Const(c) = term {
+                    return NodeId(self.cluster.shard_map().node_of_vertex(c));
+                }
+            }
+        }
+        NodeId((self.next_home.fetch_add(1, Ordering::Relaxed) % self.cluster.nodes()) as u16)
+    }
+
+    fn context_for(&self, instances: &[(usize, Timestamp, Timestamp)]) -> ExecContext {
+        let sn = self.pipeline.lock().coordinator.stable_sn();
+        ExecContext {
+            sn,
+            windows: instances
+                .iter()
+                .map(|&(s, lo, hi)| WindowInstance {
+                    stream: StreamId(s as u16),
+                    lo,
+                    hi,
+                })
+                .collect(),
+        }
+    }
+
+    fn plan_for(&self, r: &Registered, ctx: &ExecContext) -> Plan {
+        let mut cached = r.plan.lock();
+        if let Some(p) = cached.as_ref() {
+            return p.clone();
+        }
+        let access = NodeAccess::new(&self.cluster, r.home);
+        let plan = plan_query(&r.query, &access, ctx);
+        *cached = Some(plan.clone());
+        plan
+    }
+
+    fn run(&self, query: &Query, plan: &Plan, ctx: &ExecContext, home: NodeId) -> (ResultSet, f64) {
+        let lit = StringLiteralResolver(self.strings());
+        let mut timer = TaskTimer::start();
+        let forkjoin = match self.cfg.exec_mode {
+            ExecMode::InPlace => false,
+            ExecMode::ForkJoin => self.cluster.nodes() > 1,
+            ExecMode::Auto => {
+                self.cluster.nodes() > 1
+                    && (plan.has_index_scan()
+                        || plan.steps.first().map(|s| s.estimate > 10_000).unwrap_or(false))
+            }
+        };
+        let results = if forkjoin {
+            execute_forkjoin(
+                query,
+                plan,
+                ctx,
+                &self.cluster,
+                home,
+                self.cfg.cores_per_query,
+                &lit,
+                &mut timer,
+            )
+        } else {
+            let access = NodeAccess::new(&self.cluster, home);
+            wukong_query::execute(query, plan, ctx, &access, &lit, &mut timer)
+        };
+        let ms = timer.total_ms();
+        (results, ms)
+    }
+
+    /// Fires every continuous query whose next windows are covered by the
+    /// stable VTS — the data-driven execution model (§4.3).
+    pub fn fire_ready(&self) -> Vec<Firing> {
+        let stable = {
+            let pl = self.pipeline.lock();
+            pl.coordinator.stable_vts().clone()
+        };
+        let registry: Vec<Arc<Registered>> = self.registry.read().clone();
+        let mut out = Vec::new();
+        for (id, r) in registry.iter().enumerate() {
+            if r.retired.load(Ordering::Relaxed) {
+                continue;
+            }
+            loop {
+                let instances = {
+                    let mut w = r.window.lock();
+                    if !w.ready(&stable) {
+                        break;
+                    }
+                    w.fire()
+                };
+                let ctx = self.context_for(&instances);
+                let plan = self.plan_for(r, &ctx);
+                let (results, latency_ms) = self.run(&r.query, &plan, &ctx, r.home);
+                let window_end = instances.first().map(|i| i.2).unwrap_or(0);
+                // CONSTRUCT firings feed their derived stream with
+                // IStream semantics: only rows new relative to the
+                // previous firing are instantiated, so sliding windows do
+                // not re-emit their overlap.
+                if let Some(target) = r.construct_target {
+                    let mut seen = r.last_emitted.lock();
+                    let current: std::collections::HashSet<Vec<wukong_rdf::Vid>> =
+                        results.rows.iter().cloned().collect();
+                    for row in results.rows.iter().filter(|row| !seen.contains(*row)) {
+                        for t in &r.query.construct {
+                            let resolve = |term: wukong_query::Term| match term {
+                                wukong_query::Term::Const(c) => Some(c),
+                                wukong_query::Term::Var(v) => {
+                                    let col = r
+                                        .query
+                                        .select
+                                        .iter()
+                                        .position(|&s| s == v)
+                                        .expect("template vars are selected");
+                                    let val = row[col];
+                                    (val.0 != u64::MAX).then_some(val)
+                                }
+                            };
+                            if let (Some(ts), Some(to)) = (resolve(t.s), resolve(t.o)) {
+                                self.ingest(target, Triple::new(ts, t.p, to), window_end);
+                            }
+                        }
+                    }
+                    *seen = current;
+                }
+                out.push(Firing {
+                    query: id,
+                    name: r.query.name.clone(),
+                    window_end,
+                    results,
+                    latency_ms,
+                });
+            }
+        }
+        out
+    }
+
+    /// Executes a registered query once against its *current* windows
+    /// without advancing its firing cursor — the building block of the
+    /// throughput experiments, where emulated clients re-execute shared
+    /// query classes as fast as the engine allows (§6.6).
+    /// Executing a retired query returns an empty result.
+    pub fn execute_registered(&self, id: ContinuousId) -> (ResultSet, f64) {
+        let r = Arc::clone(&self.registry.read()[id]);
+        if r.retired.load(Ordering::Relaxed) {
+            return (
+                ResultSet {
+                    var_names: Vec::new(),
+                    rows: Vec::new(),
+                    aggregates: Vec::new(),
+                    group_aggregates: Vec::new(),
+                },
+                0.0,
+            );
+        }
+        let stable = {
+            let pl = self.pipeline.lock();
+            pl.coordinator.stable_vts().clone()
+        };
+        let instances: Vec<(usize, Timestamp, Timestamp)> = r
+            .window
+            .lock()
+            .windows()
+            .iter()
+            .map(|w| {
+                let hi = stable.get(w.stream);
+                (w.stream, hi.saturating_sub(w.range_ms) + 1, hi)
+            })
+            .collect();
+        let ctx = self.context_for(&instances);
+        let plan = self.plan_for(&r, &ctx);
+        self.run(&r.query, &plan, &ctx, r.home)
+    }
+
+    /// Runs a one-shot query immediately over the stable snapshot.
+    ///
+    /// One-shot queries normally read only the stored graph; a one-shot
+    /// may however declare stream windows (`FROM <stream> [RANGE … STEP …]`)
+    /// to read the *current* window of a stream once — the time-scoped
+    /// one-shot of the paper's footnote 10 (Time-ontology support). Such
+    /// windows end at the stream's stable VTS entry.
+    pub fn one_shot(&self, text: &str) -> Result<(ResultSet, f64), QueryError> {
+        let query = parse_query(self.strings(), text)?;
+        if query.kind != QueryKind::OneShot {
+            return Err(QueryError::Unsupported(
+                "use register_continuous() for REGISTER QUERY".into(),
+            ));
+        }
+
+        let (sn, windows) = {
+            let pl = self.pipeline.lock();
+            let sn = pl.coordinator.stable_sn();
+            if query.streams.is_empty() {
+                if query.touches_stream() {
+                    return Err(QueryError::MissingWindow(
+                        "one-shot GRAPH <stream> patterns need FROM windows".into(),
+                    ));
+                }
+                (sn, Vec::new())
+            } else {
+                // Resolve stream names and build windows at the stable VTS.
+                let streams = self.cluster.streams();
+                let mut windows = Vec::with_capacity(query.streams.len());
+                for (name, spec) in &query.streams {
+                    let idx = streams
+                        .iter()
+                        .position(|s| s.schema.name == *name)
+                        .ok_or_else(|| QueryError::Unresolved(format!("stream {name}")))?;
+                    let hi = pl.coordinator.stable_vts().get(idx);
+                    windows.push(WindowInstance {
+                        stream: StreamId(idx as u16),
+                        lo: hi.saturating_sub(spec.range_ms) + 1,
+                        hi,
+                    });
+                }
+                (sn, windows)
+            }
+        };
+        let ctx = ExecContext { sn, windows };
+        let home = self.home_for(&query);
+        let access = NodeAccess::new(&self.cluster, home);
+        let plan = plan_query(&query, &access, &ctx);
+        Ok(self.run(&query, &plan, &ctx, home))
+    }
+
+    /// The stable snapshot number (what one-shot queries read).
+    pub fn stable_sn(&self) -> wukong_store::SnapshotId {
+        self.pipeline.lock().coordinator.stable_sn()
+    }
+
+    /// The stable VTS entry for `stream` (continuous-query visibility).
+    pub fn stable_ts(&self, stream: StreamId) -> Timestamp {
+        self.pipeline
+            .lock()
+            .coordinator
+            .stable_vts()
+            .get(stream.0 as usize)
+    }
+
+    /// Accumulated injection statistics and batch count for `stream`
+    /// (Table 6).
+    pub fn injection_stats(&self, stream: StreamId) -> (InjectStats, u64) {
+        let pl = self.pipeline.lock();
+        (
+            pl.inject_stats[stream.0 as usize],
+            pl.batches_done[stream.0 as usize],
+        )
+    }
+
+    /// A consolidated operational snapshot of the deployment.
+    pub fn stats(&self) -> DeploymentStats {
+        let pl = self.pipeline.lock();
+        let mut stream_index_bytes = 0;
+        let mut transient_bytes = 0;
+        let mut raw_stream_bytes = 0;
+        for s in self.cluster.streams() {
+            stream_index_bytes += s.index_bytes();
+            transient_bytes += s.transient_bytes();
+            raw_stream_bytes += *s.raw_bytes.read() as usize;
+        }
+        DeploymentStats {
+            nodes: self.cluster.nodes(),
+            streams: self.cluster.stream_count(),
+            continuous_queries: self.registry.read().len(),
+            stored_triples: self.cluster.triple_count(),
+            store_bytes: self.cluster.store_bytes(),
+            stream_index_bytes,
+            transient_bytes,
+            raw_stream_bytes,
+            stable_sn: pl.coordinator.stable_sn(),
+            batches_processed: pl.batches_done.iter().sum(),
+            fabric: self.cluster.fabric().metrics(),
+        }
+    }
+
+    /// Takes a checkpoint: registered queries, per-node VTS, and every
+    /// batch since the previous checkpoint. Returns the encoded bytes
+    /// (also retained internally for [`WukongS::recover`]).
+    pub fn checkpoint(&self) -> Bytes {
+        let mut pl = self.pipeline.lock();
+        let cp = Checkpoint {
+            local_vts: (0..self.cluster.nodes())
+                .map(|n| pl.coordinator.local_vts(n).entries().to_vec())
+                .collect(),
+            queries: self
+                .registry
+                .read()
+                .iter()
+                .filter(|r| !r.retired.load(Ordering::Relaxed))
+                .map(|r| LoggedQuery {
+                    text: r.text.clone(),
+                    construct_target: r.construct_target.map(|t| t.0),
+                })
+                .collect(),
+            batches: std::mem::take(&mut pl.log),
+        };
+        let bytes = cp.encode();
+        self.checkpoints.lock().push(bytes.clone());
+        bytes
+    }
+
+    /// All checkpoints taken so far.
+    pub fn checkpoints(&self) -> Vec<Bytes> {
+        self.checkpoints.lock().clone()
+    }
+
+    /// Rebuilds a deployment after a failure: reload the initial data,
+    /// re-register the streams, replay the checkpoints in order, then
+    /// re-register the continuous queries and catch their windows up to
+    /// the restored stable VTS (at-least-once: the window *at* the
+    /// horizon may re-fire, §5).
+    pub fn recover(
+        cfg: EngineConfig,
+        base: impl IntoIterator<Item = Triple>,
+        schemas: Vec<StreamSchema>,
+        strings: &Arc<StringServer>,
+        checkpoints: &[Bytes],
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        // Share the original string server: IDs in checkpoints refer to it
+        // (in production it is reloaded as part of the initial dataset).
+        let engine = WukongS::with_strings(cfg, Arc::clone(strings));
+        engine.load_base(base);
+        for schema in schemas {
+            engine.register_stream(schema);
+        }
+
+        // Re-register the continuous queries *before* replaying data so
+        // the garbage collector's expiry horizons respect their windows
+        // (the query-registration log is replayed first, §5).
+        let mut registered: Vec<String> = Vec::new();
+        for bytes in checkpoints {
+            let cp = Checkpoint::decode(bytes)?;
+            for q in &cp.queries {
+                if !registered.contains(&q.text) {
+                    engine
+                        .register_with_target(&q.text, q.construct_target.map(StreamId))
+                        .expect("checkpointed query re-parses");
+                    registered.push(q.text.clone());
+                }
+            }
+            let mut pl = engine.pipeline.lock();
+            for lb in cp.batches {
+                let batch = Batch {
+                    stream: StreamId(lb.stream),
+                    timestamp: lb.timestamp,
+                    tuples: lb.tuples,
+                    discarded: 0,
+                };
+                engine.enqueue_batch(&mut pl, batch);
+            }
+            engine.drain_pending(&mut pl);
+        }
+        // Adaptors resume strictly after the replayed batches, and
+        // windows catch up to the restored stable VTS.
+        {
+            let mut pl = engine.pipeline.lock();
+            let stable = pl.coordinator.stable_vts().clone();
+            for (i, a) in pl.adaptors.iter_mut().enumerate() {
+                a.fast_forward(stable.get(i));
+            }
+        }
+        let stable = engine.pipeline.lock().coordinator.stable_vts().clone();
+        for r in engine.registry.read().iter() {
+            r.window.lock().catch_up(&stable);
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wukong_rdf::ntriples;
+
+    fn engine_with_stream() -> (WukongS, StreamId) {
+        let engine = WukongS::new(EngineConfig::single_node());
+        let ss = engine.strings();
+        engine.load_base(ntriples::parse_document(ss, "Logan fo Erik\n").expect("parses"));
+        let s = engine.register_stream(StreamSchema::timeless(StreamId(9), "PO", 100));
+        // The engine assigns stream IDs itself.
+        assert_eq!(s, StreamId(0));
+        (engine, s)
+    }
+
+    #[test]
+    fn register_rejects_wrong_kinds() {
+        let (engine, _) = engine_with_stream();
+        // One-shot text on the continuous path.
+        assert!(matches!(
+            engine.register_continuous("SELECT ?X WHERE { Logan fo ?X }"),
+            Err(QueryError::Unsupported(_))
+        ));
+        // Continuous text on the one-shot path.
+        assert!(matches!(
+            engine.one_shot(
+                "REGISTER QUERY q SELECT ?X FROM PO [RANGE 1s STEP 1s] \
+                 WHERE { GRAPH PO { ?X po ?Z } }"
+            ),
+            Err(QueryError::Unsupported(_))
+        ));
+        // Continuous query over an unregistered stream.
+        assert!(matches!(
+            engine.register_continuous(
+                "REGISTER QUERY q SELECT ?X FROM Nope [RANGE 1s STEP 1s] \
+                 WHERE { GRAPH Nope { ?X po ?Z } }"
+            ),
+            Err(QueryError::Unresolved(_))
+        ));
+        // A continuous query must read at least one stream.
+        assert!(matches!(
+            engine.register_continuous(
+                "REGISTER QUERY q SELECT ?X FROM PO [RANGE 1s STEP 1s] \
+                 WHERE { Logan fo ?X }"
+            ),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn dynamic_stream_registration_mid_flight() {
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        let t = ntriples::parse_tuple(&ss, "Logan po T-1 50", 1).expect("tuple");
+        engine.ingest(po, t.triple, t.timestamp);
+        engine.advance_time(500);
+        assert_eq!(engine.stable_ts(po), 500);
+
+        // Register a second stream while the first is live (§4.3: "very
+        // flexible to handle dynamic streams").
+        let li = engine.register_stream(StreamSchema::timeless(StreamId(0), "LI", 100));
+        assert_eq!(li, StreamId(1));
+        let t = ntriples::parse_tuple(&ss, "Erik li T-1 550", 1).expect("tuple");
+        engine.ingest(li, t.triple, t.timestamp);
+        engine.advance_time(1_000);
+        assert_eq!(engine.stable_ts(po), 1_000);
+        assert_eq!(engine.stable_ts(li), 1_000);
+
+        // A query joining both streams works.
+        let id = engine
+            .register_continuous(
+                "REGISTER QUERY q SELECT ?X ?Y ?Z \
+                 FROM PO [RANGE 2s STEP 100ms] FROM LI [RANGE 2s STEP 100ms] \
+                 WHERE { GRAPH PO { ?X po ?Z } . GRAPH LI { ?Y li ?Z } }",
+            )
+            .expect("register");
+        let (rs, _) = engine.execute_registered(id);
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn fire_ready_catches_up_all_pending_windows() {
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        engine
+            .register_continuous(
+                "REGISTER QUERY q SELECT ?Z FROM PO [RANGE 1s STEP 200ms] \
+                 WHERE { GRAPH PO { Logan po ?Z } }",
+            )
+            .expect("register");
+        let t = ntriples::parse_tuple(&ss, "Logan po T-1 100", 1).expect("tuple");
+        engine.ingest(po, t.triple, t.timestamp);
+        engine.advance_time(1_000);
+        // 5 step-200ms windows became ready in one advance.
+        let firings = engine.fire_ready();
+        assert_eq!(firings.len(), 5);
+        assert!(firings.iter().all(|f| f.results.rows.len() == 1));
+        // Nothing left to fire until time advances again.
+        assert!(engine.fire_ready().is_empty());
+    }
+
+    #[test]
+    fn construct_feeds_a_derived_stream() {
+        // Pipeline: raw posts → CONSTRUCT "influences" edges → a second
+        // continuous query consumes the derived stream.
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        let derived = engine.register_stream(StreamSchema::timeless(StreamId(0), "Derived", 100));
+
+        engine
+            .register_construct(
+                "REGISTER QUERY build SELECT ?X                  CONSTRUCT { Erik influences ?X }                  FROM PO [RANGE 1s STEP 100ms]                  WHERE { GRAPH PO { ?X po ?Z } . ?X fo Erik }",
+                derived,
+            )
+            .expect_err("CONSTRUCT replaces SELECT");
+        let cid = engine
+            .register_construct(
+                "REGISTER QUERY build                  CONSTRUCT { Erik influences ?X }                  FROM PO [RANGE 1s STEP 100ms]                  WHERE { GRAPH PO { ?X po ?Z } . ?X fo Erik }",
+                derived,
+            )
+            .expect("construct registers");
+        let did = engine
+            .register_continuous(
+                "REGISTER QUERY consume SELECT ?W                  FROM Derived [RANGE 5s STEP 100ms]                  WHERE { GRAPH Derived { Erik influences ?W } }",
+            )
+            .expect("consumer registers");
+
+        // Logan follows Erik and posts; the pipeline derives
+        // ⟨Erik influences Logan⟩.
+        let t = ntriples::parse_tuple(&ss, "Logan po T-1 50", 1).expect("tuple");
+        engine.ingest(po, t.triple, t.timestamp);
+        engine.advance_time(200);
+        let firings = engine.fire_ready();
+        assert!(firings.iter().any(|f| f.query == cid && !f.results.is_empty()));
+
+        // The derived tuple becomes visible after its batch stabilises.
+        engine.advance_time(400);
+        let (rs, _) = engine.execute_registered(did);
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(ss.entity_name(rs.rows[0][0]).unwrap(), "Logan");
+
+        // Constructed data is also absorbed into the stored graph.
+        let (rs, _) = engine
+            .one_shot("SELECT ?W WHERE { Erik influences ?W }")
+            .expect("runs");
+        assert_eq!(rs.rows.len(), 1);
+
+        // Targeting an unregistered stream fails.
+        assert!(engine
+            .register_construct(
+                "REGISTER QUERY x CONSTRUCT { a b ?X } FROM PO [RANGE 1s STEP 1s]                  WHERE { GRAPH PO { ?X po ?Z } }",
+                StreamId(99),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn unregister_stops_firing_and_releases_subscriptions() {
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        let q = "REGISTER QUERY q SELECT ?Z FROM PO [RANGE 1s STEP 100ms]                  WHERE { GRAPH PO { Logan po ?Z } }";
+        let id = engine.register_continuous(q).expect("register");
+        assert_eq!(engine.continuous_count(), 1);
+        assert!(!engine.cluster().stream(0).subscribers.read().is_empty());
+
+        let t = ntriples::parse_tuple(&ss, "Logan po T-1 50", 1).expect("tuple");
+        engine.ingest(po, t.triple, t.timestamp);
+        engine.advance_time(500);
+        assert!(!engine.fire_ready().is_empty());
+
+        engine.unregister_continuous(id);
+        assert_eq!(engine.continuous_count(), 0);
+        assert!(engine.cluster().stream(0).subscribers.read().is_empty());
+        engine.advance_time(1_000);
+        assert!(engine.fire_ready().is_empty(), "retired queries never fire");
+        let (rs, _) = engine.execute_registered(id);
+        assert!(rs.is_empty());
+
+        // Checkpoints no longer persist it.
+        let cp = crate::checkpoint::Checkpoint::decode(&engine.checkpoint()).expect("decodes");
+        assert!(cp.queries.is_empty());
+
+        // Re-registering works and fires again.
+        let id2 = engine.register_continuous(q).expect("register");
+        let t = ntriples::parse_tuple(&ss, "Logan po T-2 1050", 1).expect("tuple");
+        engine.ingest(po, t.triple, t.timestamp);
+        engine.advance_time(2_000);
+        let firings = engine.fire_ready();
+        assert!(firings.iter().any(|f| f.query == id2 && !f.results.is_empty()));
+    }
+
+    #[test]
+    fn windowed_one_shot_reads_current_window() {
+        // The time-scoped one-shot of footnote 10: run once over the
+        // stream's current window.
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        for (name, ts) in [("T-1", 50u64), ("T-2", 950)] {
+            let t = ntriples::parse_tuple(&ss, &format!("Logan po {name} {ts}"), 1)
+                .expect("tuple");
+            engine.ingest(po, t.triple, t.timestamp);
+        }
+        engine.advance_time(1_000);
+
+        // A 500 ms window at the stable VTS (1000) sees only T-2.
+        let (rs, _) = engine
+            .one_shot(
+                "SELECT ?Z FROM PO [RANGE 500ms STEP 500ms]                  WHERE { GRAPH PO { Logan po ?Z } }",
+            )
+            .expect("windowed one-shot runs");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(ss.entity_name(rs.rows[0][0]).unwrap(), "T-2");
+
+        // A GRAPH clause naming an unwindowed graph falls back to the
+        // stored graph (parser semantics), where both absorbed posts are
+        // visible — same as the plain stored-graph one-shot.
+        let (rs, _) = engine
+            .one_shot("SELECT ?Z WHERE { GRAPH PO { Logan po ?Z } }")
+            .expect("runs over the stored graph");
+        assert_eq!(rs.rows.len(), 2);
+        let (rs, _) = engine
+            .one_shot("SELECT ?Z WHERE { Logan po ?Z }")
+            .expect("runs");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        let before = engine.stats();
+        assert_eq!(before.streams, 1);
+        assert_eq!(before.nodes, 1);
+        let t = ntriples::parse_tuple(&ss, "Logan po T-1 50", 1).expect("tuple");
+        engine.ingest(po, t.triple, t.timestamp);
+        engine.advance_time(500);
+        let after = engine.stats();
+        assert!(after.stored_triples > before.stored_triples);
+        assert!(after.batches_processed >= 5);
+        assert!(after.raw_stream_bytes > 0);
+        assert!(after.stable_sn > before.stable_sn);
+    }
+
+    #[test]
+    fn quiet_streams_do_not_block_visibility() {
+        // Two streams; only one ever produces tuples. Heartbeats must
+        // keep the silent stream's VTS advancing so batches of the busy
+        // stream become stable (the injector-stall scenario of Fig. 11).
+        let engine = WukongS::new(EngineConfig::single_node());
+        let ss = engine.strings().clone();
+        let po = engine.register_stream(StreamSchema::timeless(StreamId(0), "PO", 100));
+        let _li = engine.register_stream(StreamSchema::timeless(StreamId(0), "LI", 100));
+        for i in 0..20u64 {
+            let t = ntriples::parse_tuple(&ss, &format!("u{i} po T-{i} {}", i * 100 + 50), 1)
+                .expect("tuple");
+            engine.ingest(po, t.triple, t.timestamp);
+        }
+        engine.advance_time(2_000);
+        assert_eq!(engine.stable_ts(po), 2_000);
+        assert!(engine.stable_sn().0 >= 19);
+    }
+}

@@ -1,0 +1,243 @@
+//! The simulated cluster fabric.
+//!
+//! A [`Fabric`] represents the interconnect of an `n`-node cluster. It does
+//! not own any application state — shards live in the store layer — it owns
+//! the *cost model* and the message channels, and it enforces the
+//! simulation discipline: every cross-node access must pass through the
+//! fabric so its latency is charged and counted.
+
+use crate::clock::TaskTimer;
+use crate::message::Envelope;
+use crate::metrics::{FabricMetrics, MetricsSnapshot};
+use crate::profile::NetworkProfile;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of a simulated cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The interconnect of a simulated cluster.
+pub struct Fabric {
+    profile: NetworkProfile,
+    nodes: usize,
+    metrics: Arc<FabricMetrics>,
+}
+
+impl Fabric {
+    /// Creates a fabric connecting `nodes` nodes under `profile` costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, profile: NetworkProfile) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Fabric {
+            profile,
+            nodes,
+            metrics: Arc::new(FabricMetrics::default()),
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The active cost model.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
+    }
+
+    /// Shared operation counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Charges `timer` for a one-sided READ of `bytes` from `to`, issued by
+    /// a task running on `from`. Local accesses are free.
+    ///
+    /// Returns the nanoseconds charged.
+    pub fn charge_read(&self, from: NodeId, to: NodeId, bytes: usize, timer: &mut TaskTimer) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let ns = self.profile.read_cost(bytes);
+        self.metrics.record_read(bytes, ns);
+        timer.charge(ns);
+        ns
+    }
+
+    /// Charges `timer` for one two-sided message of `bytes` between two
+    /// distinct nodes. Local sends are free.
+    pub fn charge_message(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        timer: &mut TaskTimer,
+    ) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let ns = self.profile.message_cost(bytes);
+        self.metrics.record_message(bytes, ns);
+        timer.charge(ns);
+        ns
+    }
+
+    /// Builds one typed mailbox per node for two-sided communication.
+    ///
+    /// Returns the per-node endpoints; each can send to any node and
+    /// receive from its own mailbox. Sends through an endpoint charge the
+    /// fabric's message cost automatically.
+    pub fn endpoints<T>(&self) -> Vec<Endpoint<T>> {
+        type Mailbox<T> = (Sender<Envelope<T>>, Receiver<Envelope<T>>);
+        let channels: Vec<Mailbox<T>> = (0..self.nodes).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Envelope<T>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, rx))| Endpoint {
+                node: NodeId(i as u16),
+                profile: self.profile,
+                metrics: Arc::clone(&self.metrics),
+                senders: senders.clone(),
+                rx,
+            })
+            .collect()
+    }
+}
+
+/// A node's handle for two-sided messaging over the fabric.
+pub struct Endpoint<T> {
+    node: NodeId,
+    profile: NetworkProfile,
+    metrics: Arc<FabricMetrics>,
+    senders: Vec<Sender<Envelope<T>>>,
+    rx: Receiver<Envelope<T>>,
+}
+
+impl<T> Endpoint<T> {
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `payload` of wire size `bytes` to `to`, charging the hop cost.
+    ///
+    /// Returns the nanoseconds charged for the hop. The same charge rides
+    /// in the envelope so the receiver can account for arrival delay.
+    pub fn send(&self, to: NodeId, bytes: usize, payload: T) -> u64 {
+        let ns = if to == self.node {
+            0
+        } else {
+            let ns = self.profile.message_cost(bytes);
+            self.metrics.record_message(bytes, ns);
+            ns
+        };
+        // Mailboxes are unbounded and live as long as any endpoint, so a
+        // send can only fail if every endpoint for `to` was dropped; the
+        // cluster tears endpoints down together, making that a bug.
+        self.senders[to.idx()]
+            .send(Envelope {
+                from: self.node,
+                bytes,
+                charged_ns: ns,
+                payload,
+            })
+            .expect("destination endpoint dropped while cluster still running");
+        ns
+    }
+
+    /// Receives the next message, blocking until one arrives.
+    pub fn recv(&self) -> Envelope<T> {
+        self.rx.recv().expect("all senders dropped")
+    }
+
+    /// Receives with a real-time timeout (used by engine shutdown paths).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<T>, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<T>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_ops_are_free() {
+        let f = Fabric::new(2, NetworkProfile::rdma());
+        let mut t = TaskTimer::start();
+        assert_eq!(f.charge_read(NodeId(0), NodeId(0), 1024, &mut t), 0);
+        assert_eq!(f.charge_message(NodeId(1), NodeId(1), 1024, &mut t), 0);
+        assert_eq!(t.charged_ns(), 0);
+        assert_eq!(f.metrics().one_sided_reads, 0);
+    }
+
+    #[test]
+    fn remote_read_charges_and_counts() {
+        let f = Fabric::new(2, NetworkProfile::rdma());
+        let mut t = TaskTimer::start();
+        let ns = f.charge_read(NodeId(0), NodeId(1), 64, &mut t);
+        assert!(ns >= 2_000);
+        assert_eq!(t.charged_ns(), ns);
+        let m = f.metrics();
+        assert_eq!(m.one_sided_reads, 1);
+        assert_eq!(m.bytes_read, 64);
+    }
+
+    #[test]
+    fn endpoints_deliver_messages() {
+        let f = Fabric::new(3, NetworkProfile::rdma());
+        let mut eps = f.endpoints::<&'static str>();
+        let e2 = eps.remove(2);
+        let e0 = eps.remove(0);
+        let charged = e0.send(NodeId(2), 10, "hello");
+        assert!(charged > 0);
+        let env = e2.recv();
+        assert_eq!(env.payload, "hello");
+        assert_eq!(env.from, NodeId(0));
+        assert_eq!(env.charged_ns, charged);
+        assert_eq!(f.metrics().messages, 1);
+    }
+
+    #[test]
+    fn self_send_is_free_but_delivered() {
+        let f = Fabric::new(1, NetworkProfile::tcp());
+        let eps = f.endpoints::<u32>();
+        assert_eq!(eps[0].send(NodeId(0), 100, 7), 0);
+        assert_eq!(eps[0].recv().payload, 7);
+        assert_eq!(f.metrics().messages, 0);
+    }
+
+    #[test]
+    fn tcp_profile_charges_more() {
+        let rdma = Fabric::new(2, NetworkProfile::rdma());
+        let tcp = Fabric::new(2, NetworkProfile::tcp());
+        let mut tr = TaskTimer::start();
+        let mut tt = TaskTimer::start();
+        let r = rdma.charge_read(NodeId(0), NodeId(1), 256, &mut tr);
+        let t = tcp.charge_read(NodeId(0), NodeId(1), 256, &mut tt);
+        assert!(t > 10 * r);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_rejected() {
+        let _ = Fabric::new(0, NetworkProfile::rdma());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Simulated RDMA-capable cluster fabric for Wukong+S.
+//!
+//! The paper evaluates on an 8-node cluster with ConnectX-3 56 Gbps
+//! InfiniBand NICs and falls back to 10 GbE without RDMA (§6.1, Table 5).
+//! This crate substitutes that hardware with an in-process simulation:
+//!
+//! - Every *node* is a shard of state inside one OS process, so a remote
+//!   one-sided RDMA READ is emulated by reading the remote shard's memory
+//!   directly and **charging** the calibrated latency of the verb to the
+//!   calling task's [`TaskTimer`].
+//! - Two-sided messaging (used by fork-join execution) is emulated with
+//!   channels plus a (higher) per-message charge.
+//! - A [`NetworkProfile`] switches between the RDMA cost model and a
+//!   TCP-over-10GbE model, which is how the Table 5 experiment (RDMA vs
+//!   Non-RDMA) is reproduced.
+//!
+//! The substitution preserves what the paper's evaluation actually
+//! measures: *how many* network operations of each kind a design incurs
+//! and what each costs — e.g. the stream index saving one of the two RDMA
+//! reads per remote lookup (§5), or fork-join synchronisation charging a
+//! round of messages per hop (Table 5's 1.8-3.5× slowdown).
+
+pub mod clock;
+pub mod fabric;
+pub mod message;
+pub mod metrics;
+pub mod profile;
+
+pub use clock::TaskTimer;
+pub use fabric::{Endpoint, Fabric, NodeId};
+pub use message::Envelope;
+pub use metrics::{FabricMetrics, MetricsSnapshot};
+pub use profile::NetworkProfile;

@@ -1,0 +1,21 @@
+//! Message envelope for two-sided communication.
+
+use crate::fabric::NodeId;
+
+/// A message in flight between two simulated nodes.
+///
+/// The envelope carries the latency that was charged when the message was
+/// sent, so the receiver can fold the arrival delay into its own
+/// [`crate::TaskTimer`] — this models "the reply arrives `charged_ns`
+/// later" without any real sleeping.
+#[derive(Debug, Clone)]
+pub struct Envelope<T> {
+    /// The sending node.
+    pub from: NodeId,
+    /// Wire size the payload was charged for, in bytes.
+    pub bytes: usize,
+    /// Virtual nanoseconds charged for this hop.
+    pub charged_ns: u64,
+    /// The payload itself.
+    pub payload: T,
+}

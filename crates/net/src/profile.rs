@@ -1,0 +1,123 @@
+//! Network cost models.
+//!
+//! Per-operation latency charges calibrated from the hardware the paper
+//! uses (§6.1): ConnectX-3 56 Gbps InfiniBand for the RDMA profile and an
+//! Intel X540 10 GbE NIC for the non-RDMA (TCP) profile. The constants
+//! follow widely published microbenchmarks of that generation of hardware
+//! (e.g. the FaRM and Wukong papers): a small one-sided RDMA READ completes
+//! in ≈ 2 µs, a two-sided RPC in ≈ 5 µs, while a kernel TCP round trip on
+//! 10 GbE costs ≈ 30 µs.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation network latency model, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Base latency of a one-sided READ of a small payload.
+    pub one_sided_read_ns: u64,
+    /// Base latency of a two-sided send+receive (one message).
+    pub message_ns: u64,
+    /// Additional cost per byte transferred (inverse bandwidth).
+    pub per_byte_ns_x1000: u64,
+    /// Whether one-sided verbs are available at all. Without RDMA every
+    /// remote access degrades to a two-sided message pair (§6.2, Table 5).
+    pub one_sided_available: bool,
+}
+
+impl NetworkProfile {
+    /// 56 Gbps InfiniBand with RDMA verbs (the paper's default fabric).
+    pub fn rdma() -> Self {
+        NetworkProfile {
+            one_sided_read_ns: 2_000,
+            message_ns: 5_000,
+            // 56 Gbps ≈ 7 GB/s ≈ 0.143 ns/byte.
+            per_byte_ns_x1000: 143,
+            one_sided_available: true,
+        }
+    }
+
+    /// 10 GbE with kernel TCP (the paper's Non-RDMA configuration).
+    pub fn tcp() -> Self {
+        NetworkProfile {
+            one_sided_read_ns: 30_000, // degrades to an RPC
+            message_ns: 30_000,
+            // 10 Gbps ≈ 1.25 GB/s ≈ 0.8 ns/byte.
+            per_byte_ns_x1000: 800,
+            one_sided_available: false,
+        }
+    }
+
+    /// A zero-cost profile for unit tests that want determinism.
+    pub fn free() -> Self {
+        NetworkProfile {
+            one_sided_read_ns: 0,
+            message_ns: 0,
+            per_byte_ns_x1000: 0,
+            one_sided_available: true,
+        }
+    }
+
+    /// Cost of a one-sided READ of `bytes` from a remote node.
+    ///
+    /// Without one-sided verbs this is the cost of a request/response
+    /// message pair carrying the same payload.
+    pub fn read_cost(&self, bytes: usize) -> u64 {
+        let payload = self.byte_cost(bytes);
+        if self.one_sided_available {
+            self.one_sided_read_ns + payload
+        } else {
+            2 * self.message_ns + payload
+        }
+    }
+
+    /// Cost of one two-sided message of `bytes`.
+    pub fn message_cost(&self, bytes: usize) -> u64 {
+        self.message_ns + self.byte_cost(bytes)
+    }
+
+    fn byte_cost(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.per_byte_ns_x1000) / 1000
+    }
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        Self::rdma()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_read_is_cheap() {
+        let p = NetworkProfile::rdma();
+        // A 64-byte read is dominated by the base latency.
+        assert!(p.read_cost(64) < 3_000);
+    }
+
+    #[test]
+    fn tcp_read_degrades_to_rpc() {
+        let p = NetworkProfile::tcp();
+        assert_eq!(p.read_cost(0), 2 * p.message_ns);
+        assert!(p.read_cost(64) > NetworkProfile::rdma().read_cost(64) * 10);
+    }
+
+    #[test]
+    fn payload_grows_cost_linearly() {
+        let p = NetworkProfile::rdma();
+        let small = p.read_cost(1_000);
+        let large = p.read_cost(1_001_000);
+        // 1 MB extra at 0.143 ns/byte ≈ 143 µs extra.
+        assert!(large - small > 100_000);
+        assert!(large - small < 200_000);
+    }
+
+    #[test]
+    fn free_profile_charges_nothing() {
+        let p = NetworkProfile::free();
+        assert_eq!(p.read_cost(1 << 20), 0);
+        assert_eq!(p.message_cost(1 << 20), 0);
+    }
+}

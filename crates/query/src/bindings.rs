@@ -1,0 +1,142 @@
+//! Binding tables for graph exploration.
+//!
+//! Graph exploration carries a table of partial variable bindings from
+//! step to step; each expansion step consumes one column and may bind
+//! another. Rows are fixed-width (one slot per query variable) with an
+//! explicit *unbound* sentinel, which keeps row handling branch-light and
+//! lets the fork-join driver repartition rows cheaply.
+
+use wukong_rdf::Vid;
+
+/// Sentinel marking an unbound variable slot.
+pub const UNBOUND: Vid = Vid(u64::MAX);
+
+/// A table of partial bindings: `rows.len()` rows, each `width` slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingTable {
+    width: usize,
+    rows: Vec<Vid>,
+}
+
+impl BindingTable {
+    /// Creates a table with a single all-unbound seed row.
+    pub fn seed(width: usize) -> Self {
+        BindingTable {
+            width: width.max(1),
+            rows: vec![UNBOUND; width.max(1)],
+        }
+    }
+
+    /// Creates an empty table (no rows) of the given width.
+    pub fn empty(width: usize) -> Self {
+        BindingTable {
+            width: width.max(1),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variable slots per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len() / self.width
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[Vid] {
+        &self.rows[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != width`.
+    pub fn push_row(&mut self, row: &[Vid]) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.rows.extend_from_slice(row);
+    }
+
+    /// Appends `base` with slot `var` replaced by `value`.
+    pub fn push_bound(&mut self, base: &[Vid], var: u8, value: Vid) {
+        let start = self.rows.len();
+        self.rows.extend_from_slice(base);
+        self.rows[start + var as usize] = value;
+    }
+
+    /// Retains only rows for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(&[Vid]) -> bool) {
+        let width = self.width;
+        let mut out = Vec::with_capacity(self.rows.len());
+        for chunk in self.rows.chunks_exact(width) {
+            if keep(chunk) {
+                out.extend_from_slice(chunk);
+            }
+        }
+        self.rows = out;
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[Vid]> + Clone {
+        self.rows.chunks_exact(self.width)
+    }
+
+    /// Approximate wire size when shipped between nodes (fork-join cost).
+    pub fn wire_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<Vid>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_has_one_unbound_row() {
+        let t = BindingTable::seed(3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0), &[UNBOUND, UNBOUND, UNBOUND]);
+    }
+
+    #[test]
+    fn push_bound_replaces_one_slot() {
+        let mut t = BindingTable::empty(2);
+        t.push_bound(&[UNBOUND, UNBOUND], 1, Vid(42));
+        assert_eq!(t.row(0), &[UNBOUND, Vid(42)]);
+        t.push_bound(t.row(0).to_vec().as_slice(), 0, Vid(7));
+        assert_eq!(t.row(1), &[Vid(7), Vid(42)]);
+    }
+
+    #[test]
+    fn retain_filters_rows() {
+        let mut t = BindingTable::empty(1);
+        for i in 0..10 {
+            t.push_row(&[Vid(i)]);
+        }
+        t.retain(|r| r[0].0 % 2 == 0);
+        assert_eq!(t.len(), 5);
+        assert!(t.iter().all(|r| r[0].0 % 2 == 0));
+    }
+
+    #[test]
+    fn zero_width_is_clamped() {
+        // Queries with only constant patterns still need a seed row.
+        let t = BindingTable::seed(0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = BindingTable::empty(2);
+        t.push_row(&[Vid(1)]);
+    }
+}

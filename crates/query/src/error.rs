@@ -1,0 +1,51 @@
+//! Error type for parsing, planning and execution.
+
+use core::fmt;
+
+/// Errors from the query front end and executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Lexical error in the query text.
+    Lex {
+        /// Byte position in the input.
+        pos: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Syntactic error in the query text.
+    Syntax {
+        /// Token index where parsing failed.
+        at: String,
+        /// What the parser expected.
+        expected: String,
+    },
+    /// A name (stream, graph, entity, predicate) could not be resolved.
+    Unresolved(String),
+    /// The query uses a feature outside the supported C-SPARQL subset.
+    Unsupported(String),
+    /// The planner could not connect every pattern into one exploration.
+    Disconnected,
+    /// A continuous query referenced a stream with no registered window.
+    MissingWindow(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, reason } => write!(f, "lex error at byte {pos}: {reason}"),
+            QueryError::Syntax { at, expected } => {
+                write!(f, "syntax error at {at:?}: expected {expected}")
+            }
+            QueryError::Unresolved(n) => write!(f, "unresolved name: {n}"),
+            QueryError::Unsupported(s) => write!(f, "unsupported feature: {s}"),
+            QueryError::Disconnected => {
+                write!(f, "query patterns do not form a connected exploration")
+            }
+            QueryError::MissingWindow(s) => {
+                write!(f, "stream {s} used in GRAPH clause but has no FROM window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,148 @@
+//! Execution-time abstractions: data access and literal resolution.
+//!
+//! The executor is written against [`GraphAccess`], so identical plans run
+//! over a single-node store, the distributed Wukong+S engine (which adds
+//! RDMA charges and the stream-index fast path), and the baselines.
+
+use crate::ast::GraphName;
+use wukong_net::TaskTimer;
+use wukong_rdf::{Key, StreamId, Timestamp, Vid};
+use wukong_store::SnapshotId;
+
+/// A resolved window over one of the query's streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowInstance {
+    /// The engine-wide stream identifier.
+    pub stream: StreamId,
+    /// Window start (inclusive).
+    pub lo: Timestamp,
+    /// Window end (inclusive).
+    pub hi: Timestamp,
+}
+
+/// Everything one execution of a query needs besides the plan: the stable
+/// snapshot for stored-graph reads and the concrete window of each stream
+/// (indexed like [`crate::ast::Query::streams`]).
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Stable snapshot number for stored-graph patterns (§4.3).
+    pub sn: SnapshotId,
+    /// Per-stream window instances.
+    pub windows: Vec<WindowInstance>,
+}
+
+impl ExecContext {
+    /// A context for purely stored-graph (one-shot) queries.
+    pub fn stored(sn: SnapshotId) -> Self {
+        ExecContext {
+            sn,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The window instance for a query-local stream index.
+    pub fn window(&self, stream_idx: usize) -> WindowInstance {
+        self.windows[stream_idx]
+    }
+}
+
+/// Data-source reference carried by plan steps (mirrors
+/// [`GraphName`] but named for its execution role).
+pub type PatternSource = GraphName;
+
+/// Read access to streaming and stored graph data.
+///
+/// Implementations decide *where* the data lives (local shard, remote
+/// shard via one-sided read, stream index replica) and charge `timer`
+/// accordingly; the executor only reasons about keys and windows.
+pub trait GraphAccess {
+    /// Appends the neighbours of `key` in `src` to `out`.
+    ///
+    /// For [`GraphName::Stored`], visibility is `ctx.sn`. For
+    /// [`GraphName::Stream`], the result is the union of the stream's
+    /// timeless data (via the stream index) and timing data (via the
+    /// transient store) within the window.
+    fn neighbors(
+        &self,
+        key: Key,
+        src: PatternSource,
+        ctx: &ExecContext,
+        timer: &mut TaskTimer,
+        out: &mut Vec<Vid>,
+    );
+
+    /// Estimated neighbour count of `key` in `src` (planner oracle).
+    fn estimate(&self, key: Key, src: PatternSource, ctx: &ExecContext) -> usize;
+
+    /// How many times `key`'s neighbour list in `src` contains `v`.
+    ///
+    /// Occurrence counts give SPARQL bag semantics: a duplicated edge
+    /// multiplies result rows the same way regardless of the plan's join
+    /// order. The default scans [`GraphAccess::neighbors`]; engines may
+    /// override with an indexed test.
+    fn count_occurrences(
+        &self,
+        key: Key,
+        v: Vid,
+        src: PatternSource,
+        ctx: &ExecContext,
+        timer: &mut TaskTimer,
+    ) -> usize {
+        let mut buf = Vec::new();
+        self.neighbors(key, src, ctx, timer, &mut buf);
+        buf.iter().filter(|&&x| x == v).count()
+    }
+}
+
+/// Resolves entity IDs to numeric literal values for `FILTER` and
+/// numeric aggregates.
+pub trait LiteralResolver {
+    /// The numeric value of `v`, if it denotes one.
+    fn numeric(&self, v: Vid) -> Option<f64>;
+
+    /// The display name of `v` (drives `ORDER BY`'s lexical comparison).
+    fn display(&self, _v: Vid) -> Option<String> {
+        None
+    }
+}
+
+/// A resolver backed by the string server: an entity is numeric when its
+/// name parses as a number (the workload generators intern sensor
+/// readings by their decimal text).
+pub struct StringLiteralResolver<'a>(pub &'a wukong_rdf::StringServer);
+
+impl LiteralResolver for StringLiteralResolver<'_> {
+    fn numeric(&self, v: Vid) -> Option<f64> {
+        self.0.entity_name(v).ok()?.parse().ok()
+    }
+
+    fn display(&self, v: Vid) -> Option<String> {
+        self.0.entity_name(v).ok()
+    }
+}
+
+/// A resolver for tests and engines without string data: no entity is
+/// numeric.
+pub struct NoLiterals;
+
+impl LiteralResolver for NoLiterals {
+    fn numeric(&self, _v: Vid) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_literal_resolver_parses_numbers() {
+        let ss = wukong_rdf::StringServer::new();
+        let n = ss.intern_entity("12.5").unwrap();
+        let e = ss.intern_entity("Logan").unwrap();
+        let r = StringLiteralResolver(&ss);
+        assert_eq!(r.numeric(n), Some(12.5));
+        assert_eq!(r.numeric(e), None);
+        assert_eq!(r.numeric(Vid(999_999)), None);
+    }
+}

@@ -1,0 +1,851 @@
+//! Graph-exploration plan execution.
+//!
+//! Executes a [`Plan`] step by step over a [`GraphAccess`], carrying a
+//! [`BindingTable`]. Filters apply as soon as their variable binds, which
+//! is the pruning the paper credits the integrated design for: the
+//! composite design cannot push selectivity across the system boundary
+//! (§2.3, Fig. 4).
+//!
+//! The step function is public so distribution drivers (the engine's
+//! fork-join mode, the baselines' bolt pipelines) can interleave their own
+//! partitioning and communication between steps.
+
+use crate::ast::{Aggregate, AggFunc, Filter, Query, Term};
+use crate::bindings::{BindingTable, UNBOUND};
+use crate::exec::{ExecContext, GraphAccess, LiteralResolver};
+use crate::plan::{Plan, Step, StepMode};
+use wukong_net::TaskTimer;
+use wukong_rdf::{Dir, Key, Vid};
+
+/// The outcome of one query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Projected variable names, in `SELECT` order.
+    pub var_names: Vec<String>,
+    /// Projected rows. With `GROUP BY`, one row per group (the group
+    /// keys), sorted for determinism.
+    pub rows: Vec<Vec<Vid>>,
+    /// Aggregate values, parallel to the query's aggregate list
+    /// (`None` when no row contributed, e.g. `AVG` over no numerics).
+    /// Empty when the query groups (see
+    /// [`ResultSet::group_aggregates`]).
+    pub aggregates: Vec<Option<f64>>,
+    /// With `GROUP BY`: per-row aggregate values, parallel to `rows`.
+    pub group_aggregates: Vec<Vec<Option<f64>>>,
+}
+
+impl ResultSet {
+    /// Number of result rows (before aggregation).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn concrete(term: Term, row: &[Vid]) -> Option<Vid> {
+    match term {
+        Term::Const(c) => Some(c),
+        Term::Var(v) => {
+            let val = row[v as usize];
+            (val != UNBOUND).then_some(val)
+        }
+    }
+}
+
+/// Executes one step, producing the expanded binding table.
+pub fn execute_step(
+    step: &Step,
+    input: &BindingTable,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    timer: &mut TaskTimer,
+) -> BindingTable {
+    let mut out = BindingTable::empty(input.width());
+    let p = &step.pattern;
+    let mut buf: Vec<Vid> = Vec::new();
+
+    match step.mode {
+        StepMode::FromSubject | StepMode::FromObject => {
+            let (anchor_term, target_term, dir) = if step.mode == StepMode::FromSubject {
+                (p.s, p.o, Dir::Out)
+            } else {
+                (p.o, p.s, Dir::In)
+            };
+            for row in input.iter() {
+                let anchor = match concrete(anchor_term, row) {
+                    Some(v) => v,
+                    // The planner anchors only on concrete sides; an
+                    // unbound anchor means an upstream bug — drop the row.
+                    None => continue,
+                };
+                let key = Key::new(anchor, p.p, dir);
+                match concrete(target_term, row) {
+                    Some(t) => {
+                        for _ in 0..access.count_occurrences(key, t, p.graph, ctx, timer) {
+                            out.push_row(row);
+                        }
+                    }
+                    None => {
+                        let var = target_term.var().expect("non-concrete term is a var");
+                        buf.clear();
+                        access.neighbors(key, p.graph, ctx, timer, &mut buf);
+                        for &n in &buf {
+                            out.push_bound(row, var, n);
+                        }
+                    }
+                }
+            }
+        }
+        StepMode::IndexScan => {
+            // Enumerate subjects from the predicate index, then expand
+            // each subject to its objects. The index is duplicate-free on
+            // the persistent store but only per-slice on transient
+            // windows, so deduplicate before expanding.
+            let mut subjects: Vec<Vid> = Vec::new();
+            access.neighbors(Key::index(p.p, Dir::Out), p.graph, ctx, timer, &mut subjects);
+            subjects.sort_unstable();
+            subjects.dedup();
+            let s_var = p.s.var();
+            for row in input.iter() {
+                for &s in &subjects {
+                    // If the pattern subject is a bound var, honour it.
+                    if let Some(bound_s) = concrete(p.s, row) {
+                        if bound_s != s {
+                            continue;
+                        }
+                    }
+                    let key = Key::new(s, p.p, Dir::Out);
+                    match concrete(p.o, row) {
+                        Some(t) => {
+                            for _ in 0..access.count_occurrences(key, t, p.graph, ctx, timer) {
+                                match s_var {
+                                    Some(v) if row[v as usize] == UNBOUND => {
+                                        out.push_bound(row, v, s)
+                                    }
+                                    _ => out.push_row(row),
+                                }
+                            }
+                        }
+                        None => {
+                            let o_var = p.o.var().expect("non-concrete term is a var");
+                            buf.clear();
+                            access.neighbors(key, p.graph, ctx, timer, &mut buf);
+                            for &n in &buf {
+                                let mut tmp = row.to_vec();
+                                if let Some(v) = s_var {
+                                    if tmp[v as usize] == UNBOUND {
+                                        tmp[v as usize] = s;
+                                    }
+                                }
+                                // Repeated variable (`?X p ?X`): both
+                                // positions must agree.
+                                if s_var == Some(o_var) && tmp[o_var as usize] != n {
+                                    continue;
+                                }
+                                tmp[o_var as usize] = n;
+                                out.push_row(&tmp);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies every not-yet-applied filter whose variable is now bound.
+///
+/// `applied` tracks filter state across steps; exposed so distribution
+/// drivers (fork-join, baselines) can prune between their own stages.
+pub fn apply_ready_filters(
+    table: &mut BindingTable,
+    filters: &[Filter],
+    applied: &mut [bool],
+    lit: &impl LiteralResolver,
+) {
+    for (i, f) in filters.iter().enumerate() {
+        if applied[i] {
+            continue;
+        }
+        // A filter is ready once every row binds its variable. Rows bind
+        // variables uniformly per step, so checking the first row suffices.
+        let ready = table
+            .iter()
+            .next()
+            .map(|r| r[f.var as usize] != UNBOUND)
+            .unwrap_or(false);
+        if ready {
+            table.retain(|row| {
+                lit.numeric(row[f.var as usize])
+                    .map(|v| f.accepts(v))
+                    .unwrap_or(false)
+            });
+            applied[i] = true;
+        }
+    }
+}
+
+fn aggregate_rows<'a>(
+    rows: impl Iterator<Item = &'a [Vid]> + Clone,
+    aggs: &[Aggregate],
+    lit: &impl LiteralResolver,
+) -> Vec<Option<f64>> {
+    aggs.iter()
+        .map(|a| {
+            if a.func == AggFunc::Count {
+                return Some(rows.clone().count() as f64);
+            }
+            let vals: Vec<f64> = rows
+                .clone()
+                .filter_map(|r| lit.numeric(r[a.var as usize]))
+                .collect();
+            if vals.is_empty() {
+                return None;
+            }
+            Some(match a.func {
+                AggFunc::Count => unreachable!("handled above"),
+                AggFunc::Sum => vals.iter().sum(),
+                AggFunc::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
+                AggFunc::Min => vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                AggFunc::Max => vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            })
+        })
+        .collect()
+}
+
+/// Turns a final binding table into the projected [`ResultSet`]: applies
+/// any filters that never became "ready" (variables that never bound fail
+/// every row), computes aggregates and projects the `SELECT` columns.
+pub fn finalize(
+    query: &Query,
+    mut table: BindingTable,
+    applied: &[bool],
+    lit: &impl LiteralResolver,
+) -> ResultSet {
+    if applied.iter().any(|a| !a) && !query.filters.is_empty() && !table.is_empty() {
+        let unappl: Vec<&Filter> = query
+            .filters
+            .iter()
+            .zip(applied)
+            .filter(|(_, a)| !**a)
+            .map(|(f, _)| f)
+            .collect();
+        table.retain(|row| {
+            unappl.iter().all(|f| {
+                let v = row[f.var as usize];
+                v != UNBOUND
+                    && lit
+                        .numeric(v)
+                        .map(|x| f.accepts(x))
+                        .unwrap_or(false)
+            })
+        });
+    }
+
+    let var_names: Vec<String> = query
+        .select
+        .iter()
+        .map(|&v| query.var_names[v as usize].clone())
+        .collect();
+
+    if !query.group_by.is_empty() {
+        // Group rows by the GROUP BY key; aggregates compute per group.
+        let mut groups: std::collections::BTreeMap<Vec<Vid>, Vec<&[Vid]>> =
+            std::collections::BTreeMap::new();
+        for row in table.iter() {
+            let key: Vec<Vid> = query.group_by.iter().map(|&v| row[v as usize]).collect();
+            groups.entry(key).or_default().push(row);
+        }
+        let mut rows = Vec::with_capacity(groups.len());
+        let mut group_aggregates = Vec::with_capacity(groups.len());
+        for (key, members) in groups {
+            // Projection re-derives select values from the key order.
+            let projected: Vec<Vid> = query
+                .select
+                .iter()
+                .map(|v| {
+                    let pos = query
+                        .group_by
+                        .iter()
+                        .position(|g| g == v)
+                        .expect("select ⊆ group_by is parser-enforced");
+                    key[pos]
+                })
+                .collect();
+            rows.push(projected);
+            group_aggregates.push(aggregate_rows(
+                members.iter().copied(),
+                &query.aggregates,
+                lit,
+            ));
+        }
+        if let Some(n) = query.limit {
+            rows.truncate(n);
+            group_aggregates.truncate(n);
+        }
+        return ResultSet {
+            var_names,
+            rows,
+            aggregates: Vec::new(),
+            group_aggregates,
+        };
+    }
+
+    let aggregates = aggregate_rows(table.iter(), &query.aggregates, lit);
+    let mut rows: Vec<Vec<Vid>> = table
+        .iter()
+        .map(|r| query.select.iter().map(|&v| r[v as usize]).collect())
+        .collect();
+    if query.distinct {
+        rows.sort();
+        rows.dedup();
+    }
+    if !query.order_by.is_empty() {
+        // SPARQL ordering: numeric when the value is a number, otherwise
+        // lexical by display name, otherwise by ID; unbound sorts last.
+        let key_of = |v: Vid| -> (u8, f64, String, u64) {
+            if v == UNBOUND {
+                return (3, 0.0, String::new(), u64::MAX);
+            }
+            if let Some(n) = lit.numeric(v) {
+                (0, n, String::new(), v.0)
+            } else if let Some(s) = lit.display(v) {
+                (1, 0.0, s, v.0)
+            } else {
+                (2, 0.0, String::new(), v.0)
+            }
+        };
+        let sel_pos = |var: u8| query.select.iter().position(|&s| s == var);
+        rows.sort_by(|a, b| {
+            for &(var, desc) in &query.order_by {
+                let Some(col) = sel_pos(var) else { continue };
+                let ka = key_of(a[col]);
+                let kb = key_of(b[col]);
+                let ord = ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = query.limit {
+        rows.truncate(n);
+    }
+    ResultSet {
+        var_names,
+        rows,
+        aggregates,
+        group_aggregates: Vec::new(),
+    }
+}
+
+/// Applies the query's `OPTIONAL` block to `table`: rows that match the
+/// optional patterns extend with the new bindings; rows that do not are
+/// kept unchanged (left outer join).
+pub fn apply_optional(
+    query: &Query,
+    table: BindingTable,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    timer: &mut TaskTimer,
+) -> BindingTable {
+    if query.optional.is_empty() || table.is_empty() {
+        return table;
+    }
+    // Plan the optional patterns with the required variables pre-bound.
+    let mut bound = vec![false; query.var_count as usize];
+    for p in &query.patterns {
+        for t in [p.s, p.o] {
+            if let crate::ast::Term::Var(v) = t {
+                bound[v as usize] = true;
+            }
+        }
+    }
+    let plan = crate::planner::plan_patterns(&query.optional, &bound, access, ctx);
+
+    let mut out = BindingTable::empty(table.width());
+    for row in table.iter() {
+        let mut sub = BindingTable::empty(table.width());
+        sub.push_row(row);
+        for step in &plan.steps {
+            sub = execute_step(step, &sub, ctx, access, timer);
+            if sub.is_empty() {
+                break;
+            }
+        }
+        if sub.is_empty() {
+            out.push_row(row);
+        } else {
+            for r in sub.iter() {
+                out.push_row(r);
+            }
+        }
+    }
+    out
+}
+
+/// Applies the query's `UNION` groups to `table`: each group joins the
+/// required bindings independently; results concatenate (bag union).
+pub fn apply_union(
+    query: &Query,
+    table: BindingTable,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    timer: &mut TaskTimer,
+) -> BindingTable {
+    if query.union_groups.is_empty() || table.is_empty() {
+        return table;
+    }
+    let mut bound = vec![false; query.var_count as usize];
+    for p in &query.patterns {
+        for t in [p.s, p.o] {
+            if let crate::ast::Term::Var(v) = t {
+                bound[v as usize] = true;
+            }
+        }
+    }
+    let mut out = BindingTable::empty(table.width());
+    for group in &query.union_groups {
+        let plan = crate::planner::plan_patterns(group, &bound, access, ctx);
+        let mut branch = table.clone();
+        for step in &plan.steps {
+            branch = execute_step(step, &branch, ctx, access, timer);
+            if branch.is_empty() {
+                break;
+            }
+        }
+        for row in branch.iter() {
+            out.push_row(row);
+        }
+    }
+    out
+}
+
+/// Applies the query's `FILTER NOT EXISTS` groups: a row survives only
+/// when no group matches under its bindings.
+pub fn apply_not_exists(
+    query: &Query,
+    table: BindingTable,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    timer: &mut TaskTimer,
+) -> BindingTable {
+    if query.not_exists.is_empty() || table.is_empty() {
+        return table;
+    }
+    let mut bound = vec![false; query.var_count as usize];
+    for p in query
+        .patterns
+        .iter()
+        .chain(query.union_groups.iter().flatten())
+    {
+        for t in [p.s, p.o] {
+            if let crate::ast::Term::Var(v) = t {
+                bound[v as usize] = true;
+            }
+        }
+    }
+    let plans: Vec<Plan> = query
+        .not_exists
+        .iter()
+        .map(|g| crate::planner::plan_patterns(g, &bound, access, ctx))
+        .collect();
+
+    let mut out = BindingTable::empty(table.width());
+    'rows: for row in table.iter() {
+        for plan in &plans {
+            let mut sub = BindingTable::empty(table.width());
+            sub.push_row(row);
+            for step in &plan.steps {
+                sub = execute_step(step, &sub, ctx, access, timer);
+                if sub.is_empty() {
+                    break;
+                }
+            }
+            if !sub.is_empty() {
+                continue 'rows; // a witness exists: the row is filtered out
+            }
+        }
+        out.push_row(row);
+    }
+    out
+}
+
+/// Executes a full plan for `query`, returning the projected results.
+pub fn execute(
+    query: &Query,
+    plan: &Plan,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    lit: &impl LiteralResolver,
+    timer: &mut TaskTimer,
+) -> ResultSet {
+    let mut table = BindingTable::seed(query.var_count as usize);
+    let mut applied = vec![false; query.filters.len()];
+
+    for step in &plan.steps {
+        table = execute_step(step, &table, ctx, access, timer);
+        apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
+        if table.is_empty() {
+            break;
+        }
+    }
+
+    table = apply_union(query, table, ctx, access, timer);
+    apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
+    table = apply_not_exists(query, table, ctx, access, timer);
+    table = apply_optional(query, table, ctx, access, timer);
+    finalize(query, table, &applied, lit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{NoLiterals, PatternSource, StringLiteralResolver};
+    use crate::parse_query;
+    use crate::planner::plan_query;
+    use wukong_rdf::{StringServer, Triple};
+    use wukong_store::{BaseStore, SnapshotId};
+
+    /// GraphAccess over a single local BaseStore (stored graph only; the
+    /// stream path is tested through the engine in `wukong-core`).
+    struct LocalAccess<'a>(&'a BaseStore);
+
+    impl GraphAccess for LocalAccess<'_> {
+        fn neighbors(
+            &self,
+            key: Key,
+            _src: PatternSource,
+            ctx: &ExecContext,
+            _timer: &mut TaskTimer,
+            out: &mut Vec<Vid>,
+        ) {
+            self.0.for_each_neighbor(key, ctx.sn, |v| out.push(v));
+        }
+
+        fn estimate(&self, key: Key, _src: PatternSource, ctx: &ExecContext) -> usize {
+            self.0.len_at(key, ctx.sn)
+        }
+    }
+
+    /// Builds the Fig. 1 stored graph (X-Lab).
+    fn x_lab(ss: &StringServer) -> BaseStore {
+        let mut st = BaseStore::new();
+        let mut add = |s: &str, p: &str, o: &str| {
+            st.insert_base(Triple::new(
+                ss.intern_entity(s).unwrap(),
+                ss.intern_predicate(p).unwrap(),
+                ss.intern_entity(o).unwrap(),
+            ));
+        };
+        add("Logan", "fo", "Erik");
+        add("Erik", "fo", "Logan");
+        add("Logan", "po", "T-13");
+        add("Logan", "po", "T-14");
+        add("Erik", "po", "T-12");
+        add("T-12", "ht", "#sosp17");
+        add("T-13", "ht", "#sosp17");
+        add("Erik", "li", "T-13");
+        st
+    }
+
+    fn run(ss: &StringServer, st: &BaseStore, text: &str) -> ResultSet {
+        let q = parse_query(ss, text).unwrap();
+        let access = LocalAccess(st);
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let plan = plan_query(&q, &access, &ctx);
+        let mut timer = TaskTimer::start();
+        execute(&q, &plan, &ctx, &access, &NoLiterals, &mut timer)
+    }
+
+    #[test]
+    fn fig2_oneshot_returns_t13() {
+        // QS: tweets posted by Logan with hashtag #sosp17 liked by Erik.
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X WHERE { Logan po ?X . ?X ht #sosp17 . Erik li ?X }",
+        );
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], ss.entity_id("T-13").unwrap());
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        // Who follows someone who posted a #sosp17 tweet?
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X ?Y WHERE { ?X fo ?Y . ?Y po ?Z . ?Z ht #sosp17 }",
+        );
+        // Logan→Erik (T-12) and Erik→Logan (T-13).
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn const_object_anchor() {
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(&ss, &st, "SELECT ?X WHERE { ?X ht #sosp17 }");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_when_no_match() {
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(&ss, &st, "SELECT ?X WHERE { Thor po ?X }");
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(&ss, &st, "SELECT COUNT(?X) WHERE { Logan po ?X }");
+        assert_eq!(rs.aggregates, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn numeric_filter_and_avg() {
+        let ss = StringServer::new();
+        let mut st = BaseStore::new();
+        let density = ss.intern_predicate("density").unwrap();
+        for (sensor, val) in [("s1", "10"), ("s2", "30"), ("s3", "50")] {
+            st.insert_base(Triple::new(
+                ss.intern_entity(sensor).unwrap(),
+                density,
+                ss.intern_entity(val).unwrap(),
+            ));
+        }
+        let q = parse_query(
+            &ss,
+            "SELECT AVG(?v) WHERE { ?s density ?v FILTER(?v > 15) }",
+        )
+        .unwrap();
+        let access = LocalAccess(&st);
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let plan = plan_query(&q, &access, &ctx);
+        let mut timer = TaskTimer::start();
+        let rs = execute(
+            &q,
+            &plan,
+            &ctx,
+            &access,
+            &StringLiteralResolver(&ss),
+            &mut timer,
+        );
+        assert_eq!(rs.aggregates, vec![Some(40.0)]);
+    }
+
+    #[test]
+    fn distinct_dedups_and_limit_truncates() {
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        // Two tagged tweets → 2 rows plain, 1 distinct tag.
+        let rs = run(&ss, &st, "SELECT DISTINCT ?T WHERE { ?X ht ?T }");
+        assert_eq!(rs.rows.len(), 1);
+        let rs = run(&ss, &st, "SELECT ?T WHERE { ?X ht ?T } LIMIT 1");
+        assert_eq!(rs.rows.len(), 1);
+        let rs = run(&ss, &st, "SELECT ?T WHERE { ?X ht ?T } LIMIT 0");
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn not_exists_filters_witnessed_rows() {
+        // Logan's posts that Erik has NOT liked.
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X WHERE { Logan po ?X FILTER NOT EXISTS { Erik li ?X } }",
+        );
+        // Logan posted T-13 (liked by Erik) and T-14 (not liked).
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], ss.entity_id("T-14").unwrap());
+
+        // A never-matching group filters nothing.
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X WHERE { Logan po ?X FILTER NOT EXISTS { ?X nosuch ?Y } }",
+        );
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_is_bag_union_of_alternatives() {
+        // Tweets by Logan that are tagged OR liked by Erik.
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X WHERE { Logan po ?X UNION { ?X ht #sosp17 } UNION { Erik li ?X } }",
+        );
+        // Logan posted T-13 (tagged AND liked → twice) and T-14 (neither).
+        let t13 = ss.entity_id("T-13").unwrap();
+        assert_eq!(rs.rows.iter().filter(|r| r[0] == t13).count(), 2);
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_sorts_numerically_then_lexically() {
+        let ss = StringServer::new();
+        let mut st = BaseStore::new();
+        let val = ss.intern_predicate("val").unwrap();
+        for (s0, v) in [("a", "30"), ("b", "7"), ("c", "100")] {
+            st.insert_base(Triple::new(
+                ss.intern_entity(s0).unwrap(),
+                val,
+                ss.intern_entity(v).unwrap(),
+            ));
+        }
+        let q = parse_query(&ss, "SELECT ?S ?V WHERE { ?S val ?V } ORDER BY ?V").unwrap();
+        let access = LocalAccess(&st);
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let plan = plan_query(&q, &access, &ctx);
+        let mut timer = TaskTimer::start();
+        let rs = execute(&q, &plan, &ctx, &access, &StringLiteralResolver(&ss), &mut timer);
+        let vals: Vec<String> = rs
+            .rows
+            .iter()
+            .map(|r| ss.entity_name(r[1]).unwrap())
+            .collect();
+        assert_eq!(vals, ["7", "30", "100"], "numeric, not lexical");
+
+        // DESC + LIMIT = top-k.
+        let q = parse_query(
+            &ss,
+            "SELECT ?S ?V WHERE { ?S val ?V } ORDER BY DESC(?V) LIMIT 1",
+        )
+        .unwrap();
+        let plan = plan_query(&q, &access, &ctx);
+        let rs = execute(&q, &plan, &ctx, &access, &StringLiteralResolver(&ss), &mut timer);
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(ss.entity_name(rs.rows[0][1]).unwrap(), "100");
+
+        // Lexical ordering of non-numeric names.
+        let q = parse_query(&ss, "SELECT ?S WHERE { ?S val ?V } ORDER BY ?S").unwrap();
+        let plan = plan_query(&q, &access, &ctx);
+        let rs = execute(&q, &plan, &ctx, &access, &StringLiteralResolver(&ss), &mut timer);
+        let names: Vec<String> = rs
+            .rows
+            .iter()
+            .map(|r| ss.entity_name(r[0]).unwrap())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn optional_is_left_outer_join() {
+        // Every poster, with their hashtag when the tweet has one.
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X ?T WHERE { Logan po ?X OPTIONAL { ?X ht ?T } }",
+        );
+        // Logan posted T-13 (tagged #sosp17) and T-14 (untagged).
+        assert_eq!(rs.rows.len(), 2);
+        let tag = ss.entity_id("#sosp17").unwrap();
+        let t13 = ss.entity_id("T-13").unwrap();
+        let t14 = ss.entity_id("T-14").unwrap();
+        assert!(rs.rows.contains(&vec![t13, tag]));
+        assert!(rs
+            .rows
+            .iter()
+            .any(|r| r[0] == t14 && r[1] == crate::bindings::UNBOUND));
+    }
+
+    #[test]
+    fn optional_with_no_matches_keeps_all_rows() {
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(
+            &ss,
+            &st,
+            "SELECT ?X ?W WHERE { Logan po ?X OPTIONAL { ?X nosuchpred ?W } }",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert!(rs
+            .rows
+            .iter()
+            .all(|r| r[1] == crate::bindings::UNBOUND));
+    }
+
+    #[test]
+    fn group_by_computes_per_group_aggregates() {
+        let ss = StringServer::new();
+        let mut st = BaseStore::new();
+        let density = ss.intern_predicate("density").unwrap();
+        for (sensor, val) in [("s1", "10"), ("s1", "30"), ("s2", "50")] {
+            st.insert_base(Triple::new(
+                ss.intern_entity(sensor).unwrap(),
+                density,
+                ss.intern_entity(val).unwrap(),
+            ));
+        }
+        let q = parse_query(
+            &ss,
+            "SELECT ?S AVG(?V) COUNT(?V) WHERE { ?S density ?V } GROUP BY ?S",
+        )
+        .unwrap();
+        let access = LocalAccess(&st);
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let plan = plan_query(&q, &access, &ctx);
+        let mut timer = TaskTimer::start();
+        let rs = execute(
+            &q,
+            &plan,
+            &ctx,
+            &access,
+            &StringLiteralResolver(&ss),
+            &mut timer,
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert!(rs.aggregates.is_empty());
+        let s1 = ss.entity_id("s1").unwrap();
+        let i = rs.rows.iter().position(|r| r[0] == s1).expect("s1 group");
+        assert_eq!(rs.group_aggregates[i], vec![Some(20.0), Some(2.0)]);
+        assert_eq!(rs.group_aggregates[1 - i], vec![Some(50.0), Some(1.0)]);
+    }
+
+    #[test]
+    fn repeated_variable_self_loop_pattern() {
+        // `?X p ?X` must bind only self-loops (regression: the index-scan
+        // expansion used to overwrite the shared slot).
+        let ss = StringServer::new();
+        let mut st = BaseStore::new();
+        let p = ss.intern_predicate("p").unwrap();
+        let a = ss.intern_entity("a").unwrap();
+        let b = ss.intern_entity("b").unwrap();
+        st.insert_base(Triple::new(a, p, b));
+        st.insert_base(Triple::new(b, p, b));
+        let rs = run(&ss, &st, "SELECT ?X WHERE { ?X p ?X }");
+        assert_eq!(rs.rows, vec![vec![b]]);
+    }
+
+    #[test]
+    fn cyclic_pattern_contains_check() {
+        // Mutual follow: ?X fo ?Y . ?Y fo ?X — second step is a
+        // contains-check on two bound vars.
+        let ss = StringServer::new();
+        let st = x_lab(&ss);
+        let rs = run(&ss, &st, "SELECT ?X ?Y WHERE { ?X fo ?Y . ?Y fo ?X }");
+        assert_eq!(rs.rows.len(), 2); // (Logan,Erik) and (Erik,Logan)
+    }
+}

@@ -1,0 +1,59 @@
+//! Graph-exploration plans.
+//!
+//! A plan is an ordered list of steps, each consuming one triple pattern.
+//! Execution walks the binding table through the steps; at every step the
+//! pattern is anchored on a side that is already concrete (a constant or a
+//! bound variable) or, failing that, on the predicate's index vertex
+//! (§4.1: "queries that rely on retrieving a set of normal vertices
+//! connected by edges with a certain label").
+
+use crate::ast::{GraphName, TriplePattern};
+
+/// How a step anchors its pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepMode {
+    /// Subject side is concrete: look up `[s|p|out]`, match/bind object.
+    FromSubject,
+    /// Object side is concrete: look up `[o|p|in]`, match/bind subject.
+    FromObject,
+    /// Neither side concrete: scan the predicate index `[0|p|out]` to
+    /// enumerate subjects, then expand each to its objects.
+    IndexScan,
+}
+
+/// One step of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// The pattern this step satisfies.
+    pub pattern: TriplePattern,
+    /// Anchoring mode.
+    pub mode: StepMode,
+    /// Planner's cardinality estimate when the step was chosen (kept for
+    /// inspection and the breakdown benches).
+    pub estimate: usize,
+}
+
+/// An ordered graph-exploration plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Plan {
+    /// The sources (stored graph / streams) the plan touches, deduped.
+    pub fn sources(&self) -> Vec<GraphName> {
+        let mut out: Vec<GraphName> = Vec::new();
+        for s in &self.steps {
+            if !out.contains(&s.pattern.graph) {
+                out.push(s.pattern.graph);
+            }
+        }
+        out
+    }
+
+    /// Whether any step requires an index scan (non-selective start).
+    pub fn has_index_scan(&self) -> bool {
+        self.steps.iter().any(|s| s.mode == StepMode::IndexScan)
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the RDF layer.
+
+use core::fmt;
+
+/// Errors produced while encoding identifiers or parsing triple text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A vertex ID exceeded the 46-bit space of the base store.
+    VidOverflow(u64),
+    /// A predicate ID exceeded the 17-bit space of the base store.
+    PidOverflow(u64),
+    /// A line of triple text could not be parsed.
+    Parse {
+        /// 1-based line number within the parsed input.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A string was looked up that the string server has never interned.
+    UnknownString(String),
+    /// An ID was looked up that the string server has never issued.
+    UnknownId(u64),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::VidOverflow(v) => {
+                write!(f, "vertex id {v} exceeds the 46-bit id space")
+            }
+            RdfError::PidOverflow(p) => {
+                write!(f, "predicate id {p} exceeds the 17-bit id space")
+            }
+            RdfError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            RdfError::UnknownString(s) => write!(f, "unknown string: {s:?}"),
+            RdfError::UnknownId(id) => write!(f, "unknown id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}

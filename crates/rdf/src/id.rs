@@ -1,0 +1,210 @@
+//! Identifier encoding for the base store.
+//!
+//! The paper's base store (inherited from Wukong, §4.1) keys its key/value
+//! pairs by `[vid | eid | d]`: a vertex ID, an edge (predicate) ID and an
+//! in/out direction bit. Wukong+S uses 46-bit vertex IDs ("> 70 trillion
+//! unique entities", §4.1 footnote 8), which leaves 17 bits for the
+//! predicate and 1 bit for the direction in a single 64-bit key.
+
+use crate::RdfError;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a vertex ID.
+pub const VID_BITS: u32 = 46;
+/// Number of bits in a predicate (edge-label) ID.
+pub const PID_BITS: u32 = 17;
+/// Largest representable vertex ID.
+pub const MAX_VID: u64 = (1 << VID_BITS) - 1;
+/// Largest representable predicate ID.
+pub const MAX_PID: u64 = (1 << PID_BITS) - 1;
+
+/// The reserved vertex ID of the index vertex (`0 INDEX` in Fig. 6).
+///
+/// Key `[INDEX_VID | pid | d]` maps to every normal vertex that has an edge
+/// labelled `pid` in direction `d` — the "reverse mapping from a kind of
+/// edge to the normal vertices" of §4.1.
+pub const INDEX_VID: Vid = Vid(0);
+
+/// A 46-bit vertex identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Vid(pub u64);
+
+impl Vid {
+    /// Creates a vertex ID, checking the 46-bit bound.
+    pub fn new(raw: u64) -> Result<Self, RdfError> {
+        if raw > MAX_VID {
+            Err(RdfError::VidOverflow(raw))
+        } else {
+            Ok(Vid(raw))
+        }
+    }
+
+    /// Returns `true` for the reserved index vertex.
+    pub fn is_index(self) -> bool {
+        self == INDEX_VID
+    }
+}
+
+/// A 17-bit predicate (edge-label) identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Pid(pub u64);
+
+impl Pid {
+    /// Creates a predicate ID, checking the 17-bit bound.
+    pub fn new(raw: u64) -> Result<Self, RdfError> {
+        if raw > MAX_PID {
+            Err(RdfError::PidOverflow(raw))
+        } else {
+            Ok(Pid(raw))
+        }
+    }
+}
+
+/// Edge direction relative to the keyed vertex.
+///
+/// The encoding follows Fig. 6 of the paper: `0` is `in`, `1` is `out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// The keyed vertex is the *object* of the triple.
+    In = 0,
+    /// The keyed vertex is the *subject* of the triple.
+    Out = 1,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::In => Dir::Out,
+            Dir::Out => Dir::In,
+        }
+    }
+}
+
+/// A packed `[vid | pid | dir]` store key (§4.1, Fig. 6).
+///
+/// The packing is `vid << 18 | pid << 1 | dir`, so keys order first by
+/// vertex, then by predicate, then by direction — which keeps all keys of
+/// one vertex adjacent in an ordered map and lets the sharding layer route
+/// by vertex with a mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(u64);
+
+impl Key {
+    /// Packs a key from its parts.
+    pub fn new(vid: Vid, pid: Pid, dir: Dir) -> Self {
+        debug_assert!(vid.0 <= MAX_VID, "vid out of range");
+        debug_assert!(pid.0 <= MAX_PID, "pid out of range");
+        Key((vid.0 << (PID_BITS + 1)) | (pid.0 << 1) | dir as u64)
+    }
+
+    /// The index key for predicate `pid` in direction `dir` (vertex 0).
+    pub fn index(pid: Pid, dir: Dir) -> Self {
+        Key::new(INDEX_VID, pid, dir)
+    }
+
+    /// The vertex component.
+    pub fn vid(self) -> Vid {
+        Vid(self.0 >> (PID_BITS + 1))
+    }
+
+    /// The predicate component.
+    pub fn pid(self) -> Pid {
+        Pid((self.0 >> 1) & MAX_PID)
+    }
+
+    /// The direction component.
+    pub fn dir(self) -> Dir {
+        if self.0 & 1 == 0 {
+            Dir::In
+        } else {
+            Dir::Out
+        }
+    }
+
+    /// Whether this key addresses the index vertex.
+    pub fn is_index(self) -> bool {
+        self.vid().is_index()
+    }
+
+    /// The raw packed representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a key from [`Key::raw`] output.
+    pub fn from_raw(raw: u64) -> Self {
+        Key(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        let k = Key::new(Vid(123_456), Pid(42), Dir::Out);
+        assert_eq!(k.vid(), Vid(123_456));
+        assert_eq!(k.pid(), Pid(42));
+        assert_eq!(k.dir(), Dir::Out);
+    }
+
+    #[test]
+    fn key_roundtrip_extremes() {
+        let k = Key::new(Vid(MAX_VID), Pid(MAX_PID), Dir::In);
+        assert_eq!(k.vid(), Vid(MAX_VID));
+        assert_eq!(k.pid(), Pid(MAX_PID));
+        assert_eq!(k.dir(), Dir::In);
+    }
+
+    #[test]
+    fn index_key_is_index() {
+        let k = Key::index(Pid(4), Dir::In);
+        assert!(k.is_index());
+        assert_eq!(k.vid(), INDEX_VID);
+        assert_eq!(k.pid(), Pid(4));
+    }
+
+    #[test]
+    fn vid_bound_checked() {
+        assert!(Vid::new(MAX_VID).is_ok());
+        assert_eq!(
+            Vid::new(MAX_VID + 1),
+            Err(RdfError::VidOverflow(MAX_VID + 1))
+        );
+    }
+
+    #[test]
+    fn pid_bound_checked() {
+        assert!(Pid::new(MAX_PID).is_ok());
+        assert_eq!(
+            Pid::new(MAX_PID + 1),
+            Err(RdfError::PidOverflow(MAX_PID + 1))
+        );
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::In.flip(), Dir::Out);
+        assert_eq!(Dir::Out.flip(), Dir::In);
+    }
+
+    #[test]
+    fn keys_of_same_vertex_are_adjacent() {
+        // Ordering by raw key must group by vertex first.
+        let a = Key::new(Vid(5), Pid(MAX_PID), Dir::Out);
+        let b = Key::new(Vid(6), Pid(0), Dir::In);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let k = Key::new(Vid(99), Pid(7), Dir::In);
+        assert_eq!(Key::from_raw(k.raw()), k);
+    }
+}

@@ -1,0 +1,133 @@
+//! A minimal whitespace-separated triple text format.
+//!
+//! The workload generators and examples exchange data as lines of
+//! `subject predicate object`, optionally followed by a timestamp for
+//! stream tuples:
+//!
+//! ```text
+//! Logan follow Erik
+//! Logan post T-15 0802
+//! ```
+//!
+//! This is deliberately simpler than full W3C N-Triples (no IRIs, no
+//! literals with datatypes): the paper's pipeline converts every term to an
+//! ID at the string server before it reaches any engine, so the textual
+//! form only has to be unambiguous, not standards-complete.
+
+use crate::error::RdfError;
+use crate::string_server::StringServer;
+use crate::triple::Triple;
+use crate::tuple::{StreamTuple, Timestamp};
+
+/// Parses one `s p o` line into an ID triple, interning strings as needed.
+pub fn parse_triple(ss: &StringServer, line: &str, lineno: usize) -> Result<Triple, RdfError> {
+    let mut it = line.split_whitespace();
+    let (s, p, o) = match (it.next(), it.next(), it.next()) {
+        (Some(s), Some(p), Some(o)) => (s, p, o),
+        _ => {
+            return Err(RdfError::Parse {
+                line: lineno,
+                reason: format!("expected `s p o`, got {line:?}"),
+            })
+        }
+    };
+    if it.next().is_some() {
+        return Err(RdfError::Parse {
+            line: lineno,
+            reason: format!("trailing tokens after `s p o` in {line:?}"),
+        });
+    }
+    Ok(Triple::new(
+        ss.intern_entity(s)?,
+        ss.intern_predicate(p)?,
+        ss.intern_entity(o)?,
+    ))
+}
+
+/// Parses one `s p o timestamp` line into a timeless stream tuple.
+///
+/// The timing/timeless classification is applied later by the stream
+/// Adaptor, which knows the stream's schema; parsing defaults to timeless.
+pub fn parse_tuple(ss: &StringServer, line: &str, lineno: usize) -> Result<StreamTuple, RdfError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() != 4 {
+        return Err(RdfError::Parse {
+            line: lineno,
+            reason: format!("expected `s p o ts`, got {line:?}"),
+        });
+    }
+    let ts: Timestamp = tokens[3].parse().map_err(|_| RdfError::Parse {
+        line: lineno,
+        reason: format!("bad timestamp {:?}", tokens[3]),
+    })?;
+    let triple = Triple::new(
+        ss.intern_entity(tokens[0])?,
+        ss.intern_predicate(tokens[1])?,
+        ss.intern_entity(tokens[2])?,
+    );
+    Ok(StreamTuple::timeless(triple, ts))
+}
+
+/// Parses a whole document of `s p o` lines, skipping blanks and `#` comments.
+pub fn parse_document(ss: &StringServer, text: &str) -> Result<Vec<Triple>, RdfError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_triple(ss, line, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Renders an ID triple back to `s p o` text.
+pub fn format_triple(ss: &StringServer, t: &Triple) -> Result<String, RdfError> {
+    Ok(format!(
+        "{} {} {}",
+        ss.entity_name(t.s)?,
+        ss.predicate_name(t.p)?,
+        ss.entity_name(t.o)?
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        let ss = StringServer::new();
+        let t = parse_triple(&ss, "Logan follow Erik", 1).unwrap();
+        assert_eq!(format_triple(&ss, &t).unwrap(), "Logan follow Erik");
+    }
+
+    #[test]
+    fn parse_document_skips_comments_and_blanks() {
+        let ss = StringServer::new();
+        let doc = "# stored data\nLogan follow Erik\n\nErik follow Logan\n";
+        let triples = parse_document(&ss, doc).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].s, triples[1].o);
+    }
+
+    #[test]
+    fn parse_tuple_reads_timestamp() {
+        let ss = StringServer::new();
+        let t = parse_tuple(&ss, "Logan post T-15 802", 1).unwrap();
+        assert_eq!(t.timestamp, 802);
+        assert!(t.is_timeless());
+    }
+
+    #[test]
+    fn malformed_lines_error_with_lineno() {
+        let ss = StringServer::new();
+        match parse_triple(&ss, "only two", 7) {
+            Err(RdfError::Parse { line, .. }) => assert_eq!(line, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_triple(&ss, "a b c d", 1).is_err());
+        assert!(parse_tuple(&ss, "a b c notatime", 1).is_err());
+        assert!(parse_tuple(&ss, "a b c", 1).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Timestamped stream tuples.
+//!
+//! A stream in the paper (Fig. 1) is a time-ordered sequence of tuples,
+//! each a triple plus a timestamp, e.g. `⟨Logan, po, T-15⟩ 0802`. Tuples
+//! are further classified (by the Adaptor, §3) into *timeless* data, which
+//! is absorbed into the persistent store, and *timing* data, which lives
+//! only in the time-based transient store for the lifetime of the windows
+//! that need it (§4.1).
+
+use crate::triple::Triple;
+use serde::{Deserialize, Serialize};
+
+/// A logical timestamp on a stream, in milliseconds of stream time.
+///
+/// C-SPARQL's time model assumes timestamps within one stream are
+/// monotonically non-decreasing (§4.3 "Consistency guarantee"), so a plain
+/// integer suffices and no out-of-order handling is required.
+pub type Timestamp = u64;
+
+/// Identifier of a registered stream (e.g. `Tweet_Stream`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct StreamId(pub u16);
+
+/// Whether a tuple carries factual (timeless) or transient (timing) data.
+///
+/// The paper's example: tweets and likes are timeless (they become part of
+/// the knowledge base), GPS position updates are timing data (meaningless
+/// once the window has passed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TupleKind {
+    /// Factual data, absorbed into the continuous persistent store.
+    Timeless,
+    /// Transient data, stored only in the time-based transient store.
+    Timing,
+}
+
+/// One element of a stream: a triple, its timestamp, and its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamTuple {
+    /// The triple payload.
+    pub triple: Triple,
+    /// Stream time at which the tuple was produced.
+    pub timestamp: Timestamp,
+    /// Timeless vs timing classification.
+    pub kind: TupleKind,
+}
+
+impl StreamTuple {
+    /// Creates a timeless tuple.
+    pub fn timeless(triple: Triple, timestamp: Timestamp) -> Self {
+        StreamTuple {
+            triple,
+            timestamp,
+            kind: TupleKind::Timeless,
+        }
+    }
+
+    /// Creates a timing tuple.
+    pub fn timing(triple: Triple, timestamp: Timestamp) -> Self {
+        StreamTuple {
+            triple,
+            timestamp,
+            kind: TupleKind::Timing,
+        }
+    }
+
+    /// Whether the tuple should be absorbed into the persistent store.
+    pub fn is_timeless(&self) -> bool {
+        self.kind == TupleKind::Timeless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{Pid, Vid};
+
+    #[test]
+    fn constructors_set_kind() {
+        let t = Triple::new(Vid(1), Pid(2), Vid(3));
+        assert!(StreamTuple::timeless(t, 0).is_timeless());
+        assert!(!StreamTuple::timing(t, 0).is_timeless());
+    }
+}

@@ -1,0 +1,131 @@
+//! Vertex → node sharding.
+//!
+//! Wukong+S "scales by partitioning the initially stored data into a large
+//! number of shards across multiple nodes and dispatching streams to
+//! different nodes" (§3). Both the persistent and transient stores use the
+//! *same* sharding, which co-locates a stream's timeless and timing data
+//! (§4.1). A key lives on the node that owns its vertex; index-vertex keys
+//! are hashed by predicate so the index load spreads across the cluster.
+
+use wukong_rdf::{Key, Triple, Vid};
+
+/// Deterministic assignment of vertices (and keys) to cluster nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    nodes: u16,
+}
+
+impl ShardMap {
+    /// Creates a shard map over `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: u16) -> Self {
+        assert!(nodes > 0, "a shard map needs at least one node");
+        ShardMap { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The node owning vertex `v`.
+    ///
+    /// Fibonacci-hash the ID so consecutive generator IDs spread evenly.
+    pub fn node_of_vertex(&self, v: Vid) -> u16 {
+        (fib_hash(v.0) % self.nodes as u64) as u16
+    }
+
+    /// The node owning `key`.
+    ///
+    /// Normal keys follow their vertex; index-vertex keys are spread by
+    /// predicate and direction so that no single node owns every index.
+    pub fn node_of_key(&self, key: Key) -> u16 {
+        if key.is_index() {
+            (fib_hash(key.raw()) % self.nodes as u64) as u16
+        } else {
+            self.node_of_vertex(key.vid())
+        }
+    }
+
+    /// The nodes a triple's four potential key updates land on.
+    ///
+    /// Injection must route one triple to every node that owns one of its
+    /// keys; this returns the deduplicated set (at most 4 nodes).
+    pub fn nodes_of_triple(&self, t: &Triple) -> Vec<u16> {
+        let mut nodes = vec![
+            self.node_of_key(t.out_key()),
+            self.node_of_key(t.in_key()),
+            self.node_of_key(Key::index(t.p, wukong_rdf::Dir::Out)),
+            self.node_of_key(Key::index(t.p, wukong_rdf::Dir::In)),
+        ];
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+fn fib_hash(x: u64) -> u64 {
+    x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wukong_rdf::{Dir, Pid};
+
+    #[test]
+    fn single_node_owns_everything() {
+        let m = ShardMap::new(1);
+        assert_eq!(m.node_of_vertex(Vid(12345)), 0);
+        assert_eq!(m.node_of_key(Key::index(Pid(3), Dir::In)), 0);
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_in_range() {
+        let m = ShardMap::new(8);
+        for i in 0..1000 {
+            let n = m.node_of_vertex(Vid(i));
+            assert!(n < 8);
+            assert_eq!(n, m.node_of_vertex(Vid(i)));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_even() {
+        let m = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000 {
+            counts[m.node_of_vertex(Vid(i)) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1_500, "skewed shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn normal_key_follows_vertex() {
+        let m = ShardMap::new(8);
+        let k = Key::new(Vid(42), Pid(3), Dir::Out);
+        assert_eq!(m.node_of_key(k), m.node_of_vertex(Vid(42)));
+    }
+
+    #[test]
+    fn triple_routing_covers_all_keys() {
+        let m = ShardMap::new(8);
+        let t = Triple::new(Vid(1), Pid(2), Vid(3));
+        let nodes = m.nodes_of_triple(&t);
+        assert!(nodes.contains(&m.node_of_key(t.out_key())));
+        assert!(nodes.contains(&m.node_of_key(t.in_key())));
+        assert!(nodes.contains(&m.node_of_key(Key::index(Pid(2), Dir::In))));
+        assert!(nodes.len() <= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ShardMap::new(0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Store statistics for query planning.
+//!
+//! The integrated design's "global semantics to generate an optimal query
+//! plan" (§3) needs cardinality estimates: how many vertices carry a given
+//! predicate, and how long a concrete key's neighbour list is. The former
+//! is summarised here; the latter is read live from the store by the
+//! planner's oracle.
+
+use crate::persistent::PersistentShard;
+use std::collections::HashMap;
+use wukong_rdf::{Dir, Key, Pid};
+
+use crate::snapshot::SnapshotId;
+
+/// Per-predicate cardinalities collected from one or more shards.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Predicate → (distinct subjects, distinct objects).
+    by_predicate: HashMap<Pid, (usize, usize)>,
+}
+
+impl StoreStats {
+    /// Collects statistics visible at snapshot `sn` from `shards`.
+    pub fn collect<'a>(shards: impl IntoIterator<Item = &'a PersistentShard>, sn: SnapshotId) -> Self {
+        let mut by_predicate: HashMap<Pid, (usize, usize)> = HashMap::new();
+        for shard in shards {
+            shard.for_each_key(|k, _| {
+                if k.is_index() {
+                    let e = by_predicate.entry(k.pid()).or_default();
+                    let n = shard.len_at(k, sn);
+                    match k.dir() {
+                        Dir::Out => e.0 += n,
+                        Dir::In => e.1 += n,
+                    }
+                }
+            });
+        }
+        StoreStats { by_predicate }
+    }
+
+    /// Distinct subjects carrying predicate `p`.
+    pub fn subjects_of(&self, p: Pid) -> usize {
+        self.by_predicate.get(&p).map(|e| e.0).unwrap_or(0)
+    }
+
+    /// Distinct objects carrying predicate `p`.
+    pub fn objects_of(&self, p: Pid) -> usize {
+        self.by_predicate.get(&p).map(|e| e.1).unwrap_or(0)
+    }
+
+    /// Estimated scan size when a pattern starts from the predicate index
+    /// in direction `dir`.
+    pub fn index_scan_size(&self, p: Pid, dir: Dir) -> usize {
+        match dir {
+            Dir::Out => self.subjects_of(p),
+            Dir::In => self.objects_of(p),
+        }
+    }
+
+    /// Number of predicates observed.
+    pub fn predicate_count(&self) -> usize {
+        self.by_predicate.len()
+    }
+}
+
+/// Live cardinality of a concrete key across shards (sum over shards —
+/// only the owning shard holds it, others return 0).
+pub fn key_cardinality<'a>(
+    shards: impl IntoIterator<Item = &'a PersistentShard>,
+    key: Key,
+    sn: SnapshotId,
+) -> usize {
+    shards.into_iter().map(|s| s.len_at(key, sn)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wukong_rdf::{Triple, Vid};
+
+    #[test]
+    fn collects_predicate_cardinalities() {
+        let shard = PersistentShard::new(4);
+        // Two subjects post three tweets.
+        shard.load_base(Triple::new(Vid(1), Pid(4), Vid(10)));
+        shard.load_base(Triple::new(Vid(1), Pid(4), Vid(11)));
+        shard.load_base(Triple::new(Vid(2), Pid(4), Vid(12)));
+        // One follow edge.
+        shard.load_base(Triple::new(Vid(1), Pid(2), Vid(2)));
+
+        let stats = StoreStats::collect([&shard], SnapshotId::BASE);
+        assert_eq!(stats.subjects_of(Pid(4)), 2);
+        assert_eq!(stats.objects_of(Pid(4)), 3);
+        assert_eq!(stats.subjects_of(Pid(2)), 1);
+        assert_eq!(stats.index_scan_size(Pid(4), Dir::In), 3);
+        assert_eq!(stats.predicate_count(), 2);
+    }
+
+    #[test]
+    fn unknown_predicate_is_zero() {
+        let stats = StoreStats::default();
+        assert_eq!(stats.subjects_of(Pid(9)), 0);
+        assert_eq!(stats.index_scan_size(Pid(9), Dir::In), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The stream index (§4.2, Fig. 8).
+//!
+//! After the persistent store absorbs a stream's timeless tuples, the data
+//! of one window is sprinkled across the whole store; walking full values
+//! to find the tuples of a window would cost O(stored data). The stream
+//! index is the fast path: per stream, a time-ordered sequence of
+//! [`IndexBatch`]es, each mapping the keys a batch appended to onto a
+//! [`FatPointer`] into the persistent value. A window lookup then touches
+//! only the batches inside the window — "the search space is extremely
+//! decreased and independent to the size of stored data".
+//!
+//! Fat pointers here are `(logical offset, length)` pairs rather than raw
+//! addresses (the paper uses a 96-bit address+size pointer): the
+//! persistent store is append-only per key, so logical offsets are stable
+//! even across snapshot consolidation, which gives the same O(1) range
+//! access without unsafe memory.
+
+use std::collections::{HashMap, VecDeque};
+use wukong_rdf::{Key, Timestamp, Vid};
+
+use crate::base::{AppendReceipt, BaseStore};
+
+/// A `(start, len)` range within one key's logical neighbour sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatPointer {
+    /// Logical offset of the first neighbour this batch appended.
+    pub start: u32,
+    /// Number of neighbours appended by this batch.
+    pub len: u32,
+}
+
+/// The stream-index entries of one stream batch.
+#[derive(Debug, Clone, Default)]
+pub struct IndexBatch {
+    /// Batch timestamp.
+    pub timestamp: Timestamp,
+    entries: HashMap<Key, FatPointer>,
+}
+
+impl IndexBatch {
+    /// Builds an index batch from the injector's append receipts.
+    ///
+    /// Appends by one batch to one key are contiguous in that key's
+    /// logical sequence (the key partition is single-writer), so receipts
+    /// coalesce into one fat pointer per key.
+    pub fn from_receipts(timestamp: Timestamp, receipts: &[AppendReceipt]) -> Self {
+        let mut entries: HashMap<Key, FatPointer> = HashMap::new();
+        for r in receipts {
+            let e = entries.entry(r.key).or_insert(FatPointer {
+                start: r.offset,
+                len: 0,
+            });
+            // Receipts of one key may arrive out of order when multiple
+            // injector threads split a batch, but the offsets still form a
+            // contiguous range; track the minimum start and the count.
+            e.start = e.start.min(r.offset);
+            e.len += 1;
+        }
+        if cfg!(debug_assertions) {
+            let mut spans: HashMap<Key, (u32, u32)> = HashMap::new();
+            for r in receipts {
+                let s = spans.entry(r.key).or_insert((r.offset, r.offset));
+                s.0 = s.0.min(r.offset);
+                s.1 = s.1.max(r.offset);
+            }
+            for (k, (lo, hi)) in spans {
+                let e = entries[&k];
+                debug_assert_eq!(
+                    hi - lo + 1,
+                    e.len,
+                    "receipts for one key must form a contiguous range"
+                );
+            }
+        }
+        IndexBatch { timestamp, entries }
+    }
+
+    /// The fat pointer for `key`, if this batch appended to it.
+    pub fn get(&self, key: Key) -> Option<FatPointer> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Visits every key this batch appended to.
+    pub fn for_each_key(&self, mut f: impl FnMut(Key)) {
+        for k in self.entries.keys() {
+            f(*k);
+        }
+    }
+
+    /// Number of indexed keys.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate heap bytes of this batch's entries.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * (std::mem::size_of::<Key>() + std::mem::size_of::<FatPointer>() + 16)
+    }
+}
+
+/// The time-ordered stream index of one stream (on one node or replica).
+#[derive(Debug, Default)]
+pub struct StreamIndex {
+    batches: VecDeque<IndexBatch>,
+    retired: u64,
+}
+
+impl StreamIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a batch at the new side.
+    pub fn push_batch(&mut self, batch: IndexBatch) {
+        debug_assert!(
+            self.batches
+                .back()
+                .map(|b| b.timestamp <= batch.timestamp)
+                .unwrap_or(true),
+            "index batches must arrive in time order"
+        );
+        self.batches.push_back(batch);
+    }
+
+    /// Retires every batch older than `expiry` (exclusive), mirroring the
+    /// transient store's GC. Returns the number retired.
+    pub fn retire_expired(&mut self, expiry: Timestamp) -> usize {
+        let mut n = 0;
+        while let Some(front) = self.batches.front() {
+            if front.timestamp >= expiry {
+                break;
+            }
+            self.batches.pop_front();
+            self.retired += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// Collects `key`'s neighbours appended by batches in `[lo, hi]`,
+    /// reading the ranges out of `store` via the fat pointers.
+    pub fn neighbors_in(
+        &self,
+        store: &BaseStore,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        out: &mut Vec<Vid>,
+    ) {
+        self.for_each_pointer_in(key, lo, hi, |fp| {
+            store.read_range(key, fp.start, fp.len, out);
+        });
+    }
+
+    /// Visits the fat pointers of `key` for batches in `[lo, hi]`.
+    pub fn for_each_pointer_in(
+        &self,
+        key: Key,
+        lo: Timestamp,
+        hi: Timestamp,
+        mut f: impl FnMut(FatPointer),
+    ) {
+        let start = self.batches.partition_point(|b| b.timestamp < lo);
+        for b in self.batches.iter().skip(start) {
+            if b.timestamp > hi {
+                break;
+            }
+            if let Some(fp) = b.get(key) {
+                f(fp);
+            }
+        }
+    }
+
+    /// Total neighbours `key` gained in `[lo, hi]` (for planner costs).
+    pub fn count_in(&self, key: Key, lo: Timestamp, hi: Timestamp) -> usize {
+        let mut n = 0;
+        self.for_each_pointer_in(key, lo, hi, |fp| n += fp.len as usize);
+        n
+    }
+
+    /// Collects the vertices that gained a `pid` edge in direction `dir`
+    /// during `[lo, hi]` — the window equivalent of an index-vertex scan.
+    ///
+    /// Enumerating touched keys, rather than following the index vertex's
+    /// own fat pointers, is what makes window scans *complete*: a vertex
+    /// whose first `pid` edge predates the window never re-enters the
+    /// persistent index, but its key is touched by every batch that
+    /// appends to it. Callers should deduplicate (a vertex may act in
+    /// several batches of one window).
+    pub fn vertices_in(
+        &self,
+        pid: wukong_rdf::Pid,
+        dir: wukong_rdf::Dir,
+        lo: Timestamp,
+        hi: Timestamp,
+        out: &mut Vec<Vid>,
+    ) {
+        let start = self.batches.partition_point(|b| b.timestamp < lo);
+        for b in self.batches.iter().skip(start) {
+            if b.timestamp > hi {
+                break;
+            }
+            b.for_each_key(|k| {
+                if !k.is_index() && k.pid() == pid && k.dir() == dir {
+                    out.push(k.vid());
+                }
+            });
+        }
+    }
+
+    /// Number of live batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Batches retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Approximate heap bytes of the whole index.
+    pub fn heap_bytes(&self) -> usize {
+        self.batches.iter().map(IndexBatch::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotId;
+    use wukong_rdf::{Dir, Pid, Triple};
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(Vid(s), Pid(p), Vid(o))
+    }
+
+    /// Injects a batch of triples and indexes it, like the Injector does.
+    fn inject(
+        store: &mut BaseStore,
+        index: &mut StreamIndex,
+        ts: Timestamp,
+        sn: SnapshotId,
+        triples: &[Triple],
+    ) {
+        let mut rc = Vec::new();
+        for &tr in triples {
+            store.insert_at(tr, sn, &mut rc);
+        }
+        index.push_batch(IndexBatch::from_receipts(ts, &rc));
+    }
+
+    #[test]
+    fn fig8_window_lookup() {
+        // Fig. 8: likes of T-15(7) arrive at 0806 (Erik,Tony,Bruce), 0810
+        // (Clint,Steve) and 0812 (Thor). A window [0807, 0811] must return
+        // exactly Clint and Steve via the stream index.
+        let li = 3;
+        let mut store = BaseStore::new();
+        let mut idx = StreamIndex::new();
+        inject(
+            &mut store,
+            &mut idx,
+            806,
+            SnapshotId(1),
+            &[t(2, li, 7), t(9, li, 7), t(10, li, 7)],
+        );
+        inject(
+            &mut store,
+            &mut idx,
+            810,
+            SnapshotId(1),
+            &[t(12, li, 7), t(13, li, 7)],
+        );
+        inject(&mut store, &mut idx, 812, SnapshotId(2), &[t(14, li, 7)]);
+
+        let key = Key::new(Vid(7), Pid(li), Dir::In);
+        let mut out = Vec::new();
+        idx.neighbors_in(&store, key, 807, 811, &mut out);
+        assert_eq!(out, vec![Vid(12), Vid(13)]);
+
+        // The full value holds all six likers; the index walked only two.
+        assert_eq!(store.len_at(key, SnapshotId(2)), 6);
+        assert_eq!(idx.count_in(key, 807, 811), 2);
+    }
+
+    #[test]
+    fn pointers_survive_consolidation() {
+        let mut store = BaseStore::new();
+        let mut idx = StreamIndex::new();
+        inject(&mut store, &mut idx, 100, SnapshotId(1), &[t(1, 2, 3)]);
+        inject(&mut store, &mut idx, 200, SnapshotId(2), &[t(1, 2, 4)]);
+        store.consolidate(SnapshotId(2));
+
+        let key = Key::new(Vid(1), Pid(2), Dir::Out);
+        let mut out = Vec::new();
+        idx.neighbors_in(&store, key, 200, 200, &mut out);
+        assert_eq!(out, vec![Vid(4)]);
+    }
+
+    #[test]
+    fn retire_drops_old_batches_only() {
+        let mut store = BaseStore::new();
+        let mut idx = StreamIndex::new();
+        for (i, ts) in [100u64, 200, 300].iter().enumerate() {
+            inject(
+                &mut store,
+                &mut idx,
+                *ts,
+                SnapshotId(1),
+                &[t(1, 2, 50 + i as u64)],
+            );
+        }
+        assert_eq!(idx.retire_expired(250), 2);
+        assert_eq!(idx.batch_count(), 1);
+
+        let key = Key::new(Vid(1), Pid(2), Dir::Out);
+        // The retired window no longer resolves through the index…
+        let mut out = Vec::new();
+        idx.neighbors_in(&store, key, 0, 249, &mut out);
+        assert!(out.is_empty());
+        // …but the data itself is still in the persistent store.
+        assert_eq!(store.len_at(key, SnapshotId(1)), 3);
+    }
+
+    #[test]
+    fn multi_append_batch_coalesces_to_one_pointer() {
+        let mut store = BaseStore::new();
+        let mut idx = StreamIndex::new();
+        // Three likes of the same tweet in one batch → one fat pointer of
+        // length 3 on the in-key.
+        inject(
+            &mut store,
+            &mut idx,
+            100,
+            SnapshotId(1),
+            &[t(1, 2, 9), t(3, 2, 9), t(4, 2, 9)],
+        );
+        let key = Key::new(Vid(9), Pid(2), Dir::In);
+        let mut ptrs = Vec::new();
+        idx.for_each_pointer_in(key, 100, 100, |fp| ptrs.push(fp));
+        assert_eq!(ptrs, vec![FatPointer { start: 0, len: 3 }]);
+    }
+
+    #[test]
+    fn index_smaller_than_data() {
+        // Table 7's premise: the index is a small fraction of raw data.
+        let mut store = BaseStore::new();
+        let mut idx = StreamIndex::new();
+        for batch in 0..10u64 {
+            let triples: Vec<_> = (0..100).map(|i| t(batch * 100 + i, 2, 7)).collect();
+            inject(&mut store, &mut idx, batch * 100, SnapshotId(1), &triples);
+        }
+        assert!(idx.heap_bytes() < store.heap_bytes());
+    }
+}

@@ -1,0 +1,241 @@
+//! The per-stream Adaptor (§3, Fig. 5).
+//!
+//! The Adaptor "uses a batch-based model that groups tuples by individual
+//! timestamps … similar to mini-batches of small time intervals in Spark
+//! Streaming. During the batching process, the Adaptor will also discard
+//! unrelated tuples and indicate whether each tuple is timing or
+//! timeless."
+
+use std::collections::HashSet;
+use wukong_rdf::{Pid, StreamId, StreamTuple, Timestamp, Triple, TupleKind};
+
+/// Static description of a stream's content.
+#[derive(Debug, Clone)]
+pub struct StreamSchema {
+    /// The stream's engine-wide identifier.
+    pub id: StreamId,
+    /// Human name (`Tweet_Stream`).
+    pub name: String,
+    /// Predicates whose tuples are *timing* data (GPS positions, sensor
+    /// readings); everything else is timeless.
+    pub timing_predicates: HashSet<Pid>,
+    /// Predicates any registered query can use; `None` keeps everything.
+    pub relevant_predicates: Option<HashSet<Pid>>,
+    /// Mini-batch interval, ms.
+    pub batch_interval_ms: u64,
+}
+
+impl StreamSchema {
+    /// A schema keeping every predicate, all timeless.
+    pub fn timeless(id: StreamId, name: impl Into<String>, batch_interval_ms: u64) -> Self {
+        StreamSchema {
+            id,
+            name: name.into(),
+            timing_predicates: HashSet::new(),
+            relevant_predicates: None,
+            batch_interval_ms,
+        }
+    }
+}
+
+/// One mini-batch of classified tuples.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The stream this batch belongs to.
+    pub stream: StreamId,
+    /// Batch timestamp: the *end* of its interval, so a window `[lo, hi]`
+    /// covers the batch iff `lo <= timestamp <= hi`.
+    pub timestamp: Timestamp,
+    /// Classified tuples.
+    pub tuples: Vec<StreamTuple>,
+    /// Tuples dropped as irrelevant (accounting).
+    pub discarded: usize,
+}
+
+impl Batch {
+    /// The timeless tuples (for the persistent store).
+    pub fn timeless(&self) -> impl Iterator<Item = &StreamTuple> {
+        self.tuples.iter().filter(|t| t.is_timeless())
+    }
+
+    /// The timing tuples (for the transient store).
+    pub fn timing(&self) -> impl Iterator<Item = &StreamTuple> {
+        self.tuples.iter().filter(|t| !t.is_timeless())
+    }
+
+    /// Raw payload size in bytes (dispatch cost accounting).
+    pub fn wire_bytes(&self) -> usize {
+        self.tuples.len() * std::mem::size_of::<StreamTuple>()
+    }
+}
+
+/// Batches one stream's raw tuples into classified mini-batches.
+#[derive(Debug)]
+pub struct Adaptor {
+    schema: StreamSchema,
+    current: Vec<StreamTuple>,
+    current_end: Timestamp,
+    discarded: usize,
+}
+
+impl Adaptor {
+    /// Creates an adaptor; the first batch covers `(0, interval]`.
+    pub fn new(schema: StreamSchema) -> Self {
+        let end = schema.batch_interval_ms;
+        Adaptor {
+            schema,
+            current: Vec::new(),
+            current_end: end,
+            discarded: 0,
+        }
+    }
+
+    /// The stream's schema.
+    pub fn schema(&self) -> &StreamSchema {
+        &self.schema
+    }
+
+    /// Feeds one raw tuple; returns completed batches (possibly empty
+    /// ones, which keep the VTS advancing through quiet periods).
+    ///
+    /// Tuples must arrive in non-decreasing timestamp order (C-SPARQL's
+    /// time model, §4.3); a late tuple is clamped into the current batch.
+    pub fn push(&mut self, triple: Triple, ts: Timestamp) -> Vec<Batch> {
+        let mut out = Vec::new();
+        while ts > self.current_end {
+            out.push(self.seal());
+        }
+        if let Some(rel) = &self.schema.relevant_predicates {
+            if !rel.contains(&triple.p) {
+                self.discarded += 1;
+                return out;
+            }
+        }
+        let kind = if self.schema.timing_predicates.contains(&triple.p) {
+            TupleKind::Timing
+        } else {
+            TupleKind::Timeless
+        };
+        self.current.push(StreamTuple {
+            triple,
+            timestamp: ts.max(self.current_end.saturating_sub(self.schema.batch_interval_ms)),
+            kind,
+        });
+        out
+    }
+
+    /// Advances stream time to `ts`, sealing every batch that ends at or
+    /// before it (heartbeat for idle streams).
+    pub fn advance_to(&mut self, ts: Timestamp) -> Vec<Batch> {
+        let mut out = Vec::new();
+        while ts >= self.current_end {
+            out.push(self.seal());
+        }
+        out
+    }
+
+    /// Fast-forwards the adaptor's clock past `ts` *without* emitting
+    /// batches — recovery replays logged batches directly into the store,
+    /// so the adaptor must resume sealing strictly after them.
+    pub fn fast_forward(&mut self, ts: Timestamp) {
+        debug_assert!(self.current.is_empty(), "fast-forward would drop tuples");
+        let interval = self.schema.batch_interval_ms;
+        while self.current_end <= ts {
+            self.current_end += interval;
+        }
+        self.discarded = 0;
+    }
+
+    fn seal(&mut self) -> Batch {
+        let b = Batch {
+            stream: self.schema.id,
+            timestamp: self.current_end,
+            tuples: std::mem::take(&mut self.current),
+            discarded: std::mem::take(&mut self.discarded),
+        };
+        self.current_end += self.schema.batch_interval_ms;
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wukong_rdf::{Pid, Vid};
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(Vid(s), Pid(p), Vid(o))
+    }
+
+    fn schema() -> StreamSchema {
+        StreamSchema {
+            id: StreamId(0),
+            name: "Tweet_Stream".into(),
+            timing_predicates: [Pid(9)].into_iter().collect(),
+            relevant_predicates: Some([Pid(4), Pid(9)].into_iter().collect()),
+            batch_interval_ms: 100,
+        }
+    }
+
+    #[test]
+    fn batches_by_interval() {
+        let mut a = Adaptor::new(schema());
+        assert!(a.push(t(1, 4, 2), 50).is_empty());
+        assert!(a.push(t(1, 4, 3), 100).is_empty()); // boundary inclusive
+        let sealed = a.push(t(1, 4, 4), 150);
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].timestamp, 100);
+        assert_eq!(sealed[0].tuples.len(), 2);
+    }
+
+    #[test]
+    fn classifies_timing_vs_timeless() {
+        let mut a = Adaptor::new(schema());
+        a.push(t(1, 4, 2), 10);
+        a.push(t(1, 9, 3), 20);
+        let b = &a.advance_to(100)[0];
+        assert_eq!(b.timeless().count(), 1);
+        assert_eq!(b.timing().count(), 1);
+    }
+
+    #[test]
+    fn discards_irrelevant_predicates() {
+        let mut a = Adaptor::new(schema());
+        a.push(t(1, 7, 2), 10); // predicate 7 not relevant
+        a.push(t(1, 4, 2), 20);
+        let b = &a.advance_to(100)[0];
+        assert_eq!(b.tuples.len(), 1);
+        assert_eq!(b.discarded, 1);
+    }
+
+    #[test]
+    fn quiet_stream_emits_empty_batches() {
+        let mut a = Adaptor::new(schema());
+        let batches = a.advance_to(300);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.tuples.is_empty()));
+        assert_eq!(batches[2].timestamp, 300);
+    }
+
+    #[test]
+    fn fast_forward_skips_without_emitting() {
+        let mut a = Adaptor::new(schema());
+        a.fast_forward(750);
+        // Sealing resumes at the next boundary after 750.
+        assert!(a.push(t(1, 4, 2), 790).is_empty());
+        let sealed = a.advance_to(800);
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].timestamp, 800);
+        assert_eq!(sealed[0].tuples.len(), 1);
+    }
+
+    #[test]
+    fn gap_in_tuples_seals_intermediate_batches() {
+        let mut a = Adaptor::new(schema());
+        a.push(t(1, 4, 2), 10);
+        let sealed = a.push(t(1, 4, 3), 450);
+        assert_eq!(sealed.len(), 4); // batches ending 100..400
+        assert_eq!(sealed[0].tuples.len(), 1);
+        assert!(sealed[1..].iter().all(|b| b.tuples.is_empty()));
+    }
+}

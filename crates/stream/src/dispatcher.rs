@@ -1,0 +1,114 @@
+//! The Dispatcher (§3, Fig. 5): batch → per-node sub-batches.
+//!
+//! A timeless tuple updates up to four store keys, which may live on
+//! different nodes, so it is routed to every node owning one of them.
+//! Timing tuples update only the two data keys of the transient store
+//! (no index vertices). Both stores use the same sharding, co-locating a
+//! stream's timing and timeless data (§4.1).
+
+use crate::adaptor::Batch;
+use wukong_rdf::StreamTuple;
+use wukong_store::ShardMap;
+
+/// The slice of one batch destined for one node.
+#[derive(Debug, Clone)]
+pub struct SubBatch {
+    /// Destination node.
+    pub node: u16,
+    /// The tuples the node must apply (a tuple may appear in several
+    /// nodes' sub-batches when its keys span nodes).
+    pub tuples: Vec<StreamTuple>,
+}
+
+impl SubBatch {
+    /// Wire size for dispatch cost accounting.
+    pub fn wire_bytes(&self) -> usize {
+        self.tuples.len() * std::mem::size_of::<StreamTuple>()
+    }
+}
+
+/// Splits `batch` into per-node sub-batches under `shards`.
+///
+/// Every node receives a (possibly empty) sub-batch so that empty batches
+/// still advance every node's local VTS.
+pub fn dispatch(batch: &Batch, shards: &ShardMap) -> Vec<SubBatch> {
+    let mut subs: Vec<SubBatch> = (0..shards.nodes())
+        .map(|n| SubBatch {
+            node: n,
+            tuples: Vec::new(),
+        })
+        .collect();
+    for tup in &batch.tuples {
+        // Both kinds route to every node owning one of the triple's keys:
+        // timeless tuples update index vertices in the persistent store,
+        // timing tuples maintain the per-slice predicate index in the
+        // transient store (both live with the index key's owner).
+        for n in shards.nodes_of_triple(&tup.triple) {
+            subs[n as usize].tuples.push(*tup);
+        }
+    }
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wukong_rdf::{Pid, StreamId, Triple, Vid};
+
+    fn batch(tuples: Vec<StreamTuple>) -> Batch {
+        Batch {
+            stream: StreamId(0),
+            timestamp: 100,
+            tuples,
+            discarded: 0,
+        }
+    }
+
+    #[test]
+    fn single_node_gets_everything_once() {
+        let shards = ShardMap::new(1);
+        let b = batch(vec![
+            StreamTuple::timeless(Triple::new(Vid(1), Pid(2), Vid(3)), 50),
+            StreamTuple::timing(Triple::new(Vid(4), Pid(5), Vid(6)), 60),
+        ]);
+        let subs = dispatch(&b, &shards);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].tuples.len(), 2);
+    }
+
+    #[test]
+    fn every_node_receives_a_subbatch() {
+        let shards = ShardMap::new(4);
+        let subs = dispatch(&batch(vec![]), &shards);
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().all(|s| s.tuples.is_empty()));
+    }
+
+    #[test]
+    fn timeless_tuple_reaches_all_owning_nodes() {
+        let shards = ShardMap::new(8);
+        let t = Triple::new(Vid(11), Pid(2), Vid(37));
+        let b = batch(vec![StreamTuple::timeless(t, 50)]);
+        let subs = dispatch(&b, &shards);
+        for owner in shards.nodes_of_triple(&t) {
+            assert!(
+                subs[owner as usize].tuples.iter().any(|x| x.triple == t),
+                "node {owner} missing its tuple"
+            );
+        }
+    }
+
+    #[test]
+    fn timing_tuple_reaches_all_owning_nodes() {
+        let shards = ShardMap::new(8);
+        let t = Triple::new(Vid(11), Pid(2), Vid(37));
+        let b = batch(vec![StreamTuple::timing(t, 50)]);
+        let subs = dispatch(&b, &shards);
+        let holders: Vec<u16> = subs
+            .iter()
+            .filter(|s| !s.tuples.is_empty())
+            .map(|s| s.node)
+            .collect();
+        assert_eq!(holders, shards.nodes_of_triple(&t));
+    }
+}

@@ -1,0 +1,148 @@
+//! Vector timestamps over streams (§4.3, Fig. 10).
+//!
+//! A [`Vts`] records, per stream, the timestamp of the latest batch whose
+//! insertion has finished. Every node maintains a *local* VTS; the
+//! coordinator computes the *stable* VTS as the element-wise minimum over
+//! all nodes' local VTS — a batch is visible only when it has been
+//! inserted at **all** nodes, since its tuples shard across the cluster.
+
+use wukong_rdf::Timestamp;
+
+/// The timestamp value meaning "no batch inserted yet".
+pub const NEVER: Timestamp = 0;
+
+/// A vector timestamp: one entry per registered stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Vts {
+    t: Vec<Timestamp>,
+}
+
+impl Vts {
+    /// A VTS over `streams` streams, all at [`NEVER`].
+    pub fn new(streams: usize) -> Self {
+        Vts {
+            t: vec![NEVER; streams],
+        }
+    }
+
+    /// Number of streams tracked.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether no stream is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// The entry for stream `i`.
+    pub fn get(&self, i: usize) -> Timestamp {
+        self.t[i]
+    }
+
+    /// Advances stream `i` to `ts`.
+    ///
+    /// Batches of one stream arrive in order (§4.3's consistency rule), so
+    /// the entry only moves forward; regressions are ignored.
+    pub fn advance(&mut self, i: usize, ts: Timestamp) {
+        if ts > self.t[i] {
+            self.t[i] = ts;
+        }
+    }
+
+    /// Grows the vector to cover `streams` streams ("the snapshot
+    /// scalarization mechanism is very flexible to handle dynamic streams",
+    /// §4.3 — adding stream S2 just extends the vector).
+    pub fn grow(&mut self, streams: usize) {
+        if streams > self.t.len() {
+            self.t.resize(streams, NEVER);
+        }
+    }
+
+    /// Element-wise minimum of `vs` — the stable VTS over nodes.
+    ///
+    /// Returns an empty VTS if `vs` is empty.
+    pub fn stable<'a>(vs: impl IntoIterator<Item = &'a Vts>) -> Vts {
+        let mut it = vs.into_iter();
+        let mut acc = match it.next() {
+            Some(v) => v.clone(),
+            None => return Vts::default(),
+        };
+        for v in it {
+            debug_assert_eq!(v.len(), acc.len(), "VTS width mismatch across nodes");
+            for (a, &b) in acc.t.iter_mut().zip(&v.t) {
+                *a = (*a).min(b);
+            }
+        }
+        acc
+    }
+
+    /// Whether every entry of `self` is ≥ the corresponding entry of
+    /// `other` (i.e. `self` dominates `other`).
+    pub fn dominates(&self, other: &Vts) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.t.iter().zip(&other.t).all(|(a, b)| a >= b)
+    }
+
+    /// Direct access to the entries (checkpointing).
+    pub fn entries(&self) -> &[Timestamp] {
+        &self.t
+    }
+
+    /// Rebuilds a VTS from checkpointed entries.
+    pub fn from_entries(t: Vec<Timestamp>) -> Self {
+        Vts { t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut v = Vts::new(2);
+        v.advance(0, 5);
+        v.advance(0, 3); // ignored
+        assert_eq!(v.get(0), 5);
+        assert_eq!(v.get(1), NEVER);
+    }
+
+    #[test]
+    fn stable_is_elementwise_min() {
+        // Fig. 10: Node0 at [S0=4,S1=12], Node1 at [S0=5,S1=12] →
+        // stable [S0=4,S1=12].
+        let mut n0 = Vts::new(2);
+        n0.advance(0, 4);
+        n0.advance(1, 12);
+        let mut n1 = Vts::new(2);
+        n1.advance(0, 5);
+        n1.advance(1, 12);
+        let s = Vts::stable([&n0, &n1]);
+        assert_eq!(s.get(0), 4);
+        assert_eq!(s.get(1), 12);
+    }
+
+    #[test]
+    fn dominates_checks_every_entry() {
+        let a = Vts::from_entries(vec![5, 12]);
+        let b = Vts::from_entries(vec![4, 12]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(a.dominates(&a));
+    }
+
+    #[test]
+    fn grow_preserves_existing() {
+        let mut v = Vts::from_entries(vec![7]);
+        v.grow(3);
+        assert_eq!(v.entries(), &[7, NEVER, NEVER]);
+        v.grow(2); // never shrinks
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn stable_of_nothing_is_empty() {
+        assert!(Vts::stable([]).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! An interactive C-SPARQL shell over a live Wukong+S deployment.
+//!
+//! Boots a 2-node deployment pre-loaded with an LSBench-style social
+//! graph whose five streams you can advance on demand, then reads
+//! C-SPARQL from stdin:
+//!
+//! ```text
+//! wukong+s> SELECT ?X WHERE { u0 fo ?X } LIMIT 3
+//! wukong+s> REGISTER QUERY q SELECT ?X ?Z FROM PO [RANGE 1s STEP 100ms]
+//!           WHERE { GRAPH PO { ?X po ?Z } }
+//! wukong+s> \stream 1000        -- stream one second of social activity
+//! wukong+s> \fire               -- run every ready continuous query
+//! wukong+s> \stats              -- deployment statistics
+//! ```
+//!
+//! Run with: `cargo run --release --example repl`
+//! (pipe a script in for non-interactive use:
+//! `echo 'SELECT ?X WHERE { u0 fo ?X }' | cargo run --release --example repl`)
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use wukong_benchdata::{LsBench, LsBenchConfig};
+use wukong_core::{Client, EngineConfig, ProxyPool, Submitted, WukongS};
+use wukong_rdf::{StringServer, Timestamp};
+
+fn main() {
+    let strings = Arc::new(StringServer::new());
+    let mut gen = LsBench::new(LsBenchConfig::tiny(), Arc::clone(&strings));
+    let engine = Arc::new(WukongS::with_strings(
+        EngineConfig::cluster(2),
+        Arc::clone(&strings),
+    ));
+    engine.load_base(gen.stored_triples());
+    for s in gen.schemas() {
+        engine.register_stream(s);
+    }
+    let pool = Arc::new(ProxyPool::new(Arc::clone(&engine), 2));
+    let client = Client::connect(Arc::clone(&pool));
+
+    println!(
+        "Wukong+S shell — {} stored triples, streams PO/PO-L/PH/PH-L/GPS registered.",
+        engine.stats().stored_triples
+    );
+    println!("Type a C-SPARQL query, or \\help for commands.\n");
+
+    let stdin = std::io::stdin();
+    let mut now: Timestamp = 0;
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("wukong+s> ");
+        } else {
+            print!("      ...> ");
+        }
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim_end();
+        if line.starts_with('\\') {
+            buffer.clear();
+            match handle_command(line, &engine, &mut gen, &mut now) {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(e) => {
+                    println!("error: {e}");
+                    continue;
+                }
+            }
+        }
+        // Queries may span lines; submit when the braces balance.
+        buffer.push_str(line);
+        buffer.push(' ');
+        let open = buffer.matches('{').count();
+        let close = buffer.matches('}').count();
+        if open == 0 || open > close {
+            continue;
+        }
+        let text = std::mem::take(&mut buffer);
+        match client.query(&text) {
+            Ok(Submitted::Results {
+                results,
+                latency_ms,
+            }) => {
+                for row in results.rows.iter().take(20) {
+                    let names: Vec<String> = row
+                        .iter()
+                        .map(|v| strings.entity_name(*v).unwrap_or_else(|_| "?".into()))
+                        .collect();
+                    println!("  {}", names.join("  "));
+                }
+                if results.rows.len() > 20 {
+                    println!("  … {} more rows", results.rows.len() - 20);
+                }
+                for (a, v) in results.aggregates.iter().enumerate() {
+                    println!("  agg[{a}] = {v:?}");
+                }
+                println!("({} rows, {latency_ms:.3} ms)", results.rows.len());
+            }
+            Ok(Submitted::Registered(id)) => {
+                println!("registered continuous query #{id}; \\stream then \\fire to run it");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye.");
+}
+
+fn handle_command(
+    line: &str,
+    engine: &Arc<WukongS>,
+    gen: &mut LsBench,
+    now: &mut Timestamp,
+) -> Result<bool, String> {
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some("\\help") => {
+            println!("  \\stream <ms>   generate and ingest <ms> of social-network streams");
+            println!("  \\fire          execute every continuous query whose windows are ready");
+            println!("  \\stats         deployment statistics");
+            println!("  \\quit          exit");
+            println!("  anything else  a C-SPARQL query (multi-line until braces close)");
+            Ok(true)
+        }
+        Some("\\stream") => {
+            let ms: Timestamp = parts
+                .next()
+                .ok_or("usage: \\stream <ms>")?
+                .parse()
+                .map_err(|_| "usage: \\stream <ms>".to_string())?;
+            let from = *now;
+            *now += ms;
+            let tuples = gen.generate(from, *now);
+            for t in &tuples {
+                engine.ingest(t.stream, t.triple, t.timestamp);
+            }
+            engine.advance_time(*now);
+            println!("streamed {} tuples; stream time is now {} ms", tuples.len(), *now);
+            Ok(true)
+        }
+        Some("\\fire") => {
+            let firings = engine.fire_ready();
+            if firings.is_empty() {
+                println!("no query windows are ready (try \\stream first)");
+            }
+            for f in firings {
+                println!(
+                    "  #{} {}: {} rows in {:.3} ms (window ending {})",
+                    f.query,
+                    f.name.as_deref().unwrap_or("<unnamed>"),
+                    f.results.rows.len(),
+                    f.latency_ms,
+                    f.window_end
+                );
+            }
+            Ok(true)
+        }
+        Some("\\stats") => {
+            let s = engine.stats();
+            println!(
+                "  nodes {} | streams {} | continuous queries {} | stable SN {:?}",
+                s.nodes, s.streams, s.continuous_queries, s.stable_sn
+            );
+            println!(
+                "  stored triples {} | store {} KiB | stream index {} KiB | transient {} KiB",
+                s.stored_triples,
+                s.store_bytes / 1024,
+                s.stream_index_bytes / 1024,
+                s.transient_bytes / 1024
+            );
+            println!(
+                "  batches {} | fabric: {} reads, {} messages",
+                s.batches_processed, s.fabric.one_sided_reads, s.fabric.messages
+            );
+            Ok(true)
+        }
+        Some("\\quit") | Some("\\q") => Ok(false),
+        _ => Err(format!("unknown command {line:?} (\\help for help)")),
+    }
+}

@@ -1,0 +1,225 @@
+//! Cross-engine agreement: every system under comparison must give the
+//! same answers on the same workload — otherwise the latency comparisons
+//! of Tables 2-4 and 9 would compare different computations.
+
+use std::sync::Arc;
+use wukong_baselines::{Composite, CompositePlan, CompositeProfile, SparkLike, SparkMode, WukongExt};
+use wukong_benchdata::{citybench, lsbench, CityBench, CityBenchConfig, LsBench, LsBenchConfig, TimedTuple};
+use wukong_core::{EngineConfig, WukongS};
+use wukong_rdf::{StringServer, Triple, Vid};
+
+struct Rig {
+    strings: Arc<StringServer>,
+    stored: Vec<Triple>,
+    timeline: Vec<TimedTuple>,
+    duration: u64,
+}
+
+fn wukongs(rig: &Rig, schemas: Vec<wukong_stream::StreamSchema>, nodes: usize) -> WukongS {
+    let e = WukongS::with_strings(EngineConfig::cluster(nodes), Arc::clone(&rig.strings));
+    e.load_base(rig.stored.iter().copied());
+    for s in schemas {
+        e.register_stream(s);
+    }
+    for t in &rig.timeline {
+        e.ingest(t.stream, t.triple, t.timestamp);
+    }
+    e.advance_time(rig.duration);
+    e
+}
+
+fn composite(rig: &Rig, names: &[&str], profile: CompositeProfile) -> Composite {
+    let mut c = Composite::new(profile, Arc::clone(&rig.strings));
+    c.load_base(rig.stored.iter().copied());
+    for n in names {
+        c.register_stream(*n);
+    }
+    for t in &rig.timeline {
+        c.ingest(t.stream, t.triple, t.timestamp);
+    }
+    c
+}
+
+fn spark(rig: &Rig, names: &[&str], mode: SparkMode) -> SparkLike {
+    let mut s = SparkLike::new(mode, Arc::clone(&rig.strings));
+    s.load_base(rig.stored.iter().copied());
+    for n in names {
+        s.register_stream(*n);
+    }
+    for t in &rig.timeline {
+        s.ingest(t.stream, t.triple, t.timestamp);
+    }
+    s
+}
+
+fn sorted(mut rows: Vec<Vec<Vid>>) -> Vec<Vec<Vid>> {
+    rows.sort();
+    rows
+}
+
+/// The engine window [hi-range+1, hi] filters by *batch* timestamp; the
+/// relational baselines buffer raw tuples. Aligning `now` to a batch
+/// boundary makes both views identical.
+#[test]
+fn lsbench_all_engines_agree() {
+    let strings = Arc::new(StringServer::new());
+    let mut gen = LsBench::new(LsBenchConfig::tiny(), Arc::clone(&strings));
+    let rig = Rig {
+        stored: gen.stored_triples(),
+        timeline: gen.generate(0, 1_500),
+        duration: 1_500,
+        strings,
+    };
+    let names = ["PO", "PO-L", "PH", "PH-L", "GPS"];
+
+    let engine = wukongs(&rig, gen.schemas(), 4);
+    let mut storm = composite(&rig, &names, CompositeProfile::storm_wukong(1));
+    let mut csparql = composite(&rig, &names, CompositeProfile::csparql());
+    let mut micro = spark(&rig, &names, SparkMode::MicroBatch);
+    let mut ext = WukongExt::new(2, Arc::clone(&rig.strings));
+    ext.load_base(rig.stored.iter().copied());
+    for n in &names {
+        ext.register_stream(*n);
+    }
+    for t in &rig.timeline {
+        ext.ingest(t.stream, t.triple, t.timestamp);
+    }
+
+    for class in 1..=lsbench::CONTINUOUS_CLASSES {
+        let text = lsbench::continuous_query(&gen, class, 0);
+        let wid = engine.register_continuous(&text).expect("wukong+s");
+        let sid = storm.register_continuous(&text).expect("storm");
+        let cid = csparql.register_continuous(&text).expect("csparql");
+        let mid = micro.register_continuous(&text).expect("spark");
+        let eid = ext.register_continuous(&text).expect("ext");
+
+        let reference = sorted(engine.execute_registered(wid).0.rows);
+        // L6's stored pattern (`?X po ?Z` on X-Lab) touches data the
+        // streams *absorbed into* the store. Wukong+S (and Wukong/Ext)
+        // see it; the composite and Spark baselines query a static
+        // stored dataset — the §2.3 "not completely stateful" gap. The
+        // stateless engines must return exactly the subset of the
+        // reference whose answers need no absorbed data.
+        let check = |got: Vec<Vec<Vid>>, who: &str| {
+            if class == 6 {
+                assert!(
+                    got.iter().all(|r| reference.contains(r)),
+                    "{who} invented rows on L{class}"
+                );
+                assert!(
+                    got.len() < reference.len(),
+                    "{who} should miss absorbed-data rows on L{class}"
+                );
+            } else {
+                assert_eq!(got, reference, "{who} disagrees on L{class}");
+            }
+        };
+        check(
+            sorted(storm.execute(sid, rig.duration, CompositePlan::Interleaved).0.rows),
+            "Storm+Wukong",
+        );
+        check(
+            sorted(storm.execute(sid, rig.duration, CompositePlan::StreamFirst).0.rows),
+            "Storm+Wukong plan (b)",
+        );
+        check(
+            sorted(csparql.execute(cid, rig.duration, CompositePlan::Interleaved).0.rows),
+            "CSPARQL",
+        );
+        check(sorted(micro.execute(mid, rig.duration).0.rows), "Spark");
+        // Wukong/Ext absorbs stream data too: full agreement everywhere.
+        let got = sorted(ext.execute(eid, rig.duration).0.rows);
+        assert_eq!(got, reference, "Wukong/Ext disagrees on L{class}");
+    }
+}
+
+#[test]
+fn citybench_engines_agree() {
+    let strings = Arc::new(StringServer::new());
+    let mut gen = CityBench::new(CityBenchConfig::default(), Arc::clone(&strings));
+    let rig = Rig {
+        stored: gen.stored_triples(),
+        timeline: gen.generate(0, 6_000),
+        duration: 6_000,
+        strings,
+    };
+    let names = [
+        "VT1", "VT2", "WT", "UL", "PK1", "PK2", "PL1", "PL2", "PL3", "PL4", "PL5",
+    ];
+
+    let engine = wukongs(&rig, gen.schemas(), 1);
+    let mut storm = composite(&rig, &names, CompositeProfile::storm_wukong(1));
+    let mut micro = spark(&rig, &names, SparkMode::MicroBatch);
+
+    for class in 1..=citybench::CONTINUOUS_CLASSES {
+        let text = citybench::continuous_query(&gen, class, 0);
+        let wid = engine.register_continuous(&text).expect("wukong+s");
+        let sid = storm.register_continuous(&text).expect("storm");
+        let mid = micro.register_continuous(&text).expect("spark");
+
+        let reference = sorted(engine.execute_registered(wid).0.rows);
+        let got = sorted(storm.execute(sid, rig.duration, CompositePlan::Interleaved).0.rows);
+        assert_eq!(got, reference, "Storm+Wukong disagrees on C{class}");
+        let got = sorted(micro.execute(mid, rig.duration).0.rows);
+        assert_eq!(got, reference, "Spark disagrees on C{class}");
+    }
+}
+
+#[test]
+fn structured_supports_exactly_group_one() {
+    let strings = Arc::new(StringServer::new());
+    let mut gen = LsBench::new(LsBenchConfig::tiny(), Arc::clone(&strings));
+    let rig = Rig {
+        stored: gen.stored_triples(),
+        timeline: gen.generate(0, 1_000),
+        duration: 1_000,
+        strings,
+    };
+    let names = ["PO", "PO-L", "PH", "PH-L", "GPS"];
+    let mut structured = spark(&rig, &names, SparkMode::Structured);
+    for class in 1..=lsbench::CONTINUOUS_CLASSES {
+        let res = structured.register_continuous(&lsbench::continuous_query(&gen, class, 0));
+        if class <= 3 {
+            assert!(res.is_ok(), "Structured must support L{class}");
+        } else {
+            assert!(res.is_err(), "Structured must reject L{class} (Table 4's x)");
+        }
+    }
+}
+
+#[test]
+fn aggregates_agree_across_engines() {
+    // C6 (AVG over a parking lot's vacancy readings) must compute the
+    // same value on every engine.
+    let strings = Arc::new(StringServer::new());
+    let mut gen = CityBench::new(CityBenchConfig::default(), Arc::clone(&strings));
+    let rig = Rig {
+        stored: gen.stored_triples(),
+        timeline: gen.generate(0, 30_000),
+        duration: 30_000,
+        strings,
+    };
+    let names = [
+        "VT1", "VT2", "WT", "UL", "PK1", "PK2", "PL1", "PL2", "PL3", "PL4", "PL5",
+    ];
+    let engine = wukongs(&rig, gen.schemas(), 1);
+    let mut storm = composite(&rig, &names, CompositeProfile::storm_wukong(1));
+    let mut micro = spark(&rig, &names, SparkMode::MicroBatch);
+
+    let text = citybench::continuous_query(&gen, 6, 0);
+    let wid = engine.register_continuous(&text).expect("wukong+s");
+    let sid = storm.register_continuous(&text).expect("storm");
+    let mid = micro.register_continuous(&text).expect("spark");
+
+    let (rs, _) = engine.execute_registered(wid);
+    let reference = rs.aggregates.clone();
+    assert_eq!(reference.len(), 1, "C6 has one AVG aggregate");
+    let (_, aggs, _) = storm.execute_full(sid, rig.duration, CompositePlan::Interleaved);
+    assert_eq!(aggs, reference, "composite AVG disagrees");
+    let (_, aggs, _) = micro.execute_full(mid, rig.duration);
+    assert_eq!(aggs, reference, "spark AVG disagrees");
+    // With a 30 s run the 3 s window should usually hold readings.
+    if let Some(v) = reference[0] {
+        assert!((0.0..60.0).contains(&v), "implausible AVG {v}");
+    }
+}
