@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo CI: formatting, lints, and the tier-1 test suite.
+#
+#   ./ci.sh          fmt + clippy + build + tests
+#   ./ci.sh --quick  the above plus a bench --json smoke run at tiny scale
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test"
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "== bench JSON smoke (tiny scale)"
+    out="$(mktemp -d)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin table2_latency_single -- --json "$out/table2.json"
+    grep -q '"schema_version": 1' "$out/table2.json"
+    echo "smoke OK: $out/table2.json"
+fi
+
+echo "CI green"

@@ -220,11 +220,19 @@ impl Composite {
     pub fn register_continuous(&mut self, text: &str) -> Result<usize, QueryError> {
         let query = parse_query(&self.strings, text)?;
         if query.kind != QueryKind::Continuous {
-            return Err(QueryError::Unsupported("composite runs continuous queries".into()));
-        }
-        if !query.optional.is_empty() || !query.group_by.is_empty() || !query.union_groups.is_empty() || !query.not_exists.is_empty() || !query.construct.is_empty() {
             return Err(QueryError::Unsupported(
-                "the composite baseline evaluates basic graph patterns only (no OPTIONAL/GROUP BY)".into(),
+                "composite runs continuous queries".into(),
+            ));
+        }
+        if !query.optional.is_empty()
+            || !query.group_by.is_empty()
+            || !query.union_groups.is_empty()
+            || !query.not_exists.is_empty()
+            || !query.construct.is_empty()
+        {
+            return Err(QueryError::Unsupported(
+                "the composite baseline evaluates basic graph patterns only (no OPTIONAL/GROUP BY)"
+                    .into(),
             ));
         }
         let mut stream_map = Vec::new();
@@ -246,9 +254,7 @@ impl Composite {
         let push = |segs: &mut Vec<Vec<TriplePattern>>, p: &TriplePattern| {
             let is_stream = matches!(p.graph, GraphName::Stream(_));
             match segs.last_mut() {
-                Some(last)
-                    if matches!(last[0].graph, GraphName::Stream(_)) == is_stream =>
-                {
+                Some(last) if matches!(last[0].graph, GraphName::Stream(_)) == is_stream => {
                     last.push(*p)
                 }
                 _ => segs.push(vec![*p]),
@@ -261,7 +267,10 @@ impl Composite {
                 }
             }
             CompositePlan::StreamFirst => {
-                for p in patterns.iter().filter(|p| matches!(p.graph, GraphName::Stream(_))) {
+                for p in patterns
+                    .iter()
+                    .filter(|p| matches!(p.graph, GraphName::Stream(_)))
+                {
                     push(&mut segs, p);
                 }
                 for p in patterns.iter().filter(|p| p.graph == GraphName::Stored) {
@@ -296,10 +305,7 @@ impl Composite {
             buffer.for_each_in(lo, now, |t| window_tuples.push(*t));
             charged += self.profile.processor.op_cost_ns(window_tuples.len());
             let rel = scan_pattern(window_tuples.iter(), p);
-            charged += self
-                .profile
-                .processor
-                .op_cost_ns(acc.len() + rel.len());
+            charged += self.profile.processor.op_cost_ns(acc.len() + rel.len());
             acc = hash_join(&acc, &rel);
         }
         bd.stream_ms += t0.elapsed().as_nanos() as f64 / 1e6 + charged as f64 / 1e6;
@@ -409,9 +415,7 @@ impl Composite {
                 Some(match a.func {
                     wukong_query::ast::AggFunc::Count => unreachable!("handled above"),
                     wukong_query::ast::AggFunc::Sum => vals.iter().sum(),
-                    wukong_query::ast::AggFunc::Avg => {
-                        vals.iter().sum::<f64>() / vals.len() as f64
-                    }
+                    wukong_query::ast::AggFunc::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
                     wukong_query::ast::AggFunc::Min => {
                         vals.iter().cloned().fold(f64::INFINITY, f64::min)
                     }

@@ -126,15 +126,21 @@ impl SparkLike {
     pub fn register_continuous(&mut self, text: &str) -> Result<usize, QueryError> {
         let query = parse_query(&self.strings, text)?;
         if query.kind != QueryKind::Continuous {
-            return Err(QueryError::Unsupported("spark-like runs continuous queries".into()));
+            return Err(QueryError::Unsupported(
+                "spark-like runs continuous queries".into(),
+            ));
         }
         if !self.supports(&query) {
             return Err(QueryError::Unsupported(
-                "joining two streaming datasets is not supported (Structured Streaming 2.2)"
-                    .into(),
+                "joining two streaming datasets is not supported (Structured Streaming 2.2)".into(),
             ));
         }
-        if !query.optional.is_empty() || !query.group_by.is_empty() || !query.union_groups.is_empty() || !query.not_exists.is_empty() || !query.construct.is_empty() {
+        if !query.optional.is_empty()
+            || !query.group_by.is_empty()
+            || !query.union_groups.is_empty()
+            || !query.not_exists.is_empty()
+            || !query.construct.is_empty()
+        {
             return Err(QueryError::Unsupported(
                 "the spark-like baseline evaluates basic graph patterns only (no OPTIONAL/GROUP BY)".into(),
             ));
@@ -250,9 +256,7 @@ impl SparkLike {
                 Some(match a.func {
                     wukong_query::ast::AggFunc::Count => unreachable!("handled above"),
                     wukong_query::ast::AggFunc::Sum => vals.iter().sum(),
-                    wukong_query::ast::AggFunc::Avg => {
-                        vals.iter().sum::<f64>() / vals.len() as f64
-                    }
+                    wukong_query::ast::AggFunc::Avg => vals.iter().sum::<f64>() / vals.len() as f64,
                     wukong_query::ast::AggFunc::Min => {
                         vals.iter().cloned().fold(f64::INFINITY, f64::min)
                     }
@@ -310,7 +314,10 @@ mod tests {
         let id = s.register_continuous(Q).unwrap();
         let (rel, ms) = s.execute(id, 1_000);
         assert_eq!(rel.len(), 1);
-        assert!(ms >= SPARK_STAGE_OVERHEAD_MS * 4.0, "latency floor missing: {ms}");
+        assert!(
+            ms >= SPARK_STAGE_OVERHEAD_MS * 4.0,
+            "latency floor missing: {ms}"
+        );
     }
 
     #[test]

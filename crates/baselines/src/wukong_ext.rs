@@ -20,8 +20,12 @@ use std::sync::Arc;
 use wukong_core::cluster::Cluster;
 use wukong_core::EngineConfig;
 use wukong_net::{NodeId, TaskTimer};
-use wukong_query::exec::{ExecContext, GraphAccess, PatternSource, StringLiteralResolver, WindowInstance};
-use wukong_query::{execute, parse_query, plan_query, GraphName, Query, QueryError, QueryKind, ResultSet};
+use wukong_query::exec::{
+    ExecContext, GraphAccess, PatternSource, StringLiteralResolver, WindowInstance,
+};
+use wukong_query::{
+    execute, parse_query, plan_query, GraphName, Query, QueryError, QueryKind, ResultSet,
+};
 use wukong_rdf::{Key, StreamId, StringServer, Timestamp, Triple, Vid};
 use wukong_store::SnapshotId;
 
@@ -93,16 +97,26 @@ impl WukongExt {
     /// Total timestamp-log entries (the §6.2 "stale and useless
     /// timestamps will accumulate" memory growth).
     pub fn log_entries(&self) -> usize {
-        self.logs.iter().map(|l| l.read().values().map(Vec::len).sum::<usize>()).sum()
+        self.logs
+            .iter()
+            .map(|l| l.read().values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// Registers a continuous query.
     pub fn register_continuous(&mut self, text: &str) -> Result<usize, QueryError> {
         let query = parse_query(self.cluster.strings(), text)?;
         if query.kind != QueryKind::Continuous {
-            return Err(QueryError::Unsupported("wukong/ext runs continuous queries".into()));
+            return Err(QueryError::Unsupported(
+                "wukong/ext runs continuous queries".into(),
+            ));
         }
-        if !query.optional.is_empty() || !query.group_by.is_empty() || !query.union_groups.is_empty() || !query.not_exists.is_empty() || !query.construct.is_empty() {
+        if !query.optional.is_empty()
+            || !query.group_by.is_empty()
+            || !query.union_groups.is_empty()
+            || !query.not_exists.is_empty()
+            || !query.construct.is_empty()
+        {
             return Err(QueryError::Unsupported(
                 "the wukong/ext baseline evaluates basic graph patterns only (no OPTIONAL/GROUP BY)".into(),
             ));
@@ -277,10 +291,7 @@ mod tests {
         let (rs, _) = ext.execute(id, 5_000);
         // Only T-2 is inside the window ending at 5000.
         assert_eq!(rs.rows.len(), 1);
-        assert_eq!(
-            strings.entity_name(rs.rows[0][0]).unwrap(),
-            "T-2"
-        );
+        assert_eq!(strings.entity_name(rs.rows[0][0]).unwrap(), "T-2");
         // Both appends live in the logs forever (no GC).
         assert_eq!(ext.log_entries(), 4);
         let (rs2, _) = ext.execute(id, 100_000);

@@ -65,7 +65,10 @@ fn bench_stream_index(c: &mut Criterion) {
             }
             index.push_batch(IndexBatch::from_receipts(
                 batch * 100,
-                &rc.iter().filter(|r| r.key == key).copied().collect::<Vec<_>>(),
+                &rc.iter()
+                    .filter(|r| r.key == key)
+                    .copied()
+                    .collect::<Vec<_>>(),
             ));
         }
         let hi = history_batches * 100;

@@ -10,7 +10,7 @@
 //! checkpoints — the work real deployments interleave with query serving.
 
 use std::time::{Duration, Instant};
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_benchdata::lsbench;
 use wukong_core::{EngineConfig, LatencyRecorder, WukongS};
 use wukong_rdf::Timestamp;
@@ -72,6 +72,7 @@ fn run_loop(
 }
 
 fn main() {
+    let mut jr = BenchJson::from_env("exp_fault_tolerance");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -87,8 +88,7 @@ fn main() {
     // 25× the scaled workload default.
     let mut live_cfg = w.bench.config().clone();
     live_cfg.rate_scale *= 25.0;
-    let mut gen2 =
-        wukong_benchdata::LsBench::new(live_cfg, std::sync::Arc::clone(&w.strings));
+    let mut gen2 = wukong_benchdata::LsBench::new(live_cfg, std::sync::Arc::clone(&w.strings));
     gen2.stored_triples();
     let live = gen2.generate(0, 2_000);
 
@@ -107,8 +107,7 @@ fn main() {
     );
     // Both configurations stream the same live data; only logging and
     // checkpointing differ, so the delta isolates the FT machinery.
-    let (thr_plain, rec_plain) =
-        run_loop(&plain, &w.bench, Some(&live), w.duration, None, seconds);
+    let (thr_plain, rec_plain) = run_loop(&plain, &w.bench, Some(&live), w.duration, None, seconds);
 
     let ft = feed_engine(
         EngineConfig {
@@ -130,11 +129,19 @@ fn main() {
         seconds,
     );
 
+    jr.series("ft_off", &rec_plain);
+    jr.series("ft_on", &rec_ft);
+    jr.counter("ft_off/qps", thr_plain);
+    jr.counter("ft_on/qps", thr_ft);
+
     print_header(
         "§6.8: fault-tolerance overhead (mix L1-L3, 8 nodes, wall-clock)",
         &["config", "p50 ms", "p99 ms", "rel q/s", "drop"],
     );
-    for (name, thr, rec) in [("FT off", thr_plain, &rec_plain), ("FT on", thr_ft, &rec_ft)] {
+    for (name, thr, rec) in [
+        ("FT off", thr_plain, &rec_plain),
+        ("FT on", thr_ft, &rec_ft),
+    ] {
         print_row(vec![
             name.into(),
             fmt_ms(rec.percentile(50.0).expect("samples")),
@@ -150,6 +157,14 @@ fn main() {
     println!(
         "\nPO-stream injection per batch: {:.3} ms without FT, {:.3} ms with FT logging",
         s_plain.inject_ns as f64 / 1e6 / b_plain.max(1) as f64,
+        s_ft.inject_ns as f64 / 1e6 / b_ft.max(1) as f64,
+    );
+    jr.counter(
+        "ft_off/inject_ms_per_batch",
+        s_plain.inject_ns as f64 / 1e6 / b_plain.max(1) as f64,
+    );
+    jr.counter(
+        "ft_on/inject_ms_per_batch",
         s_ft.inject_ns as f64 / 1e6 / b_ft.max(1) as f64,
     );
 
@@ -185,4 +200,7 @@ fn main() {
         b.len(),
         if a == b { "MATCH" } else { "MISMATCH" }
     );
+    jr.counter("recovery_match", if a == b { 1.0 } else { 0.0 });
+    jr.engine(&ft);
+    jr.finish();
 }

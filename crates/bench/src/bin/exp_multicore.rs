@@ -5,11 +5,14 @@
 //! it matters. Selective queries run in-place on one worker and gain
 //! nothing.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_bench::{
+    feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, BenchJson, Scale,
+};
 use wukong_benchdata::lsbench;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("exp_multicore");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -48,9 +51,11 @@ fn main() {
     for class in 4..=6 {
         let text = lsbench::continuous_query(&w.bench, class, 0);
         let mut medians = Vec::new();
-        for (_, engine) in &engines {
+        for (cores, engine) in &engines {
             let id = engine.register_continuous(&text).expect("register");
-            medians.push(sample_continuous(engine, id, runs).median().expect("samples"));
+            let rec = sample_continuous(engine, id, runs);
+            jr.series(&format!("L{class}/cores{cores}"), &rec);
+            medians.push(rec.median().expect("samples"));
         }
         print_row(vec![
             format!("L{class}"),
@@ -69,8 +74,18 @@ fn main() {
         let id4 = engines[2].1.register_continuous(&text).expect("register");
         print_row(vec![
             format!("L{class}"),
-            fmt_ms(sample_continuous(&engines[0].1, id1, runs).median().expect("samples")),
-            fmt_ms(sample_continuous(&engines[2].1, id4, runs).median().expect("samples")),
+            fmt_ms(
+                sample_continuous(&engines[0].1, id1, runs)
+                    .median()
+                    .expect("samples"),
+            ),
+            fmt_ms(
+                sample_continuous(&engines[2].1, id4, runs)
+                    .median()
+                    .expect("samples"),
+            ),
         ]);
     }
+    jr.engine(&engines[2].1);
+    jr.finish();
 }

@@ -7,10 +7,10 @@
 //! order reversed, anchors chosen without estimates), showing how much
 //! early pruning matters even without a system boundary.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_benchdata::lsbench;
 use wukong_core::access::NodeAccess;
-use wukong_core::EngineConfig;
+use wukong_core::{EngineConfig, LatencyRecorder};
 use wukong_net::{NodeId, TaskTimer};
 use wukong_query::exec::{ExecContext, StringLiteralResolver, WindowInstance};
 use wukong_query::plan::Plan;
@@ -18,6 +18,7 @@ use wukong_query::{execute, parse_query, plan_patterns, plan_query};
 use wukong_rdf::StreamId;
 
 fn main() {
+    let mut jr = BenchJson::from_env("exp_planner");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let runs = scale.runs();
@@ -87,19 +88,21 @@ fn main() {
             .steps,
         };
 
-        let median = |plan: &Plan| {
-            let mut samples: Vec<f64> = (0..runs.min(30))
-                .map(|_| {
-                    let mut timer = TaskTimer::start();
-                    let _ = execute(&query, plan, &ctx, &access, &lit, &mut timer);
-                    timer.total_ms()
-                })
-                .collect();
-            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            samples[samples.len() / 2]
+        let sample = |plan: &Plan| {
+            let mut rec = LatencyRecorder::new();
+            for _ in 0..runs.min(30) {
+                let mut timer = TaskTimer::start();
+                let _ = execute(&query, plan, &ctx, &access, &lit, &mut timer);
+                rec.record(timer.total_ms());
+            }
+            rec
         };
-        let g = median(&good);
-        let b = median(&bad);
+        let grec = sample(&good);
+        let brec = sample(&bad);
+        jr.series(&format!("L{class}/planned"), &grec);
+        jr.series(&format!("L{class}/reversed"), &brec);
+        let g = grec.median().expect("samples");
+        let b = brec.median().expect("samples");
         print_row(vec![
             format!("L{class}"),
             fmt_ms(g),
@@ -107,6 +110,8 @@ fn main() {
             format!("{:.1}X", b / g.max(1e-9)),
         ]);
     }
+    jr.engine(&engine);
+    jr.finish();
 }
 
 /// An oracle with no information: every estimate is the same.

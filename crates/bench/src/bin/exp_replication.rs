@@ -5,11 +5,14 @@
 //! window lookup pays "an additional RDMA read" for the index itself. The
 //! price of replication is injection-time messages to subscriber nodes.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_bench::{
+    feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, BenchJson, Scale,
+};
 use wukong_benchdata::lsbench;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("exp_replication");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -48,10 +51,17 @@ fn main() {
     for class in 1..=lsbench::CONTINUOUS_CLASSES {
         let text = lsbench::continuous_query(&w.bench, class, 0);
         let mut medians = Vec::new();
-        for (_, engine) in &engines {
+        for (replicate, engine) in &engines {
             let id = engine.register_continuous(&text).expect("register");
             let before = engine.cluster().fabric().metrics();
-            medians.push(sample_continuous(engine, id, runs).median().expect("samples"));
+            let rec = sample_continuous(engine, id, runs);
+            let mode = if *replicate {
+                "replicated"
+            } else {
+                "partitioned"
+            };
+            jr.series(&format!("L{class}/{mode}"), &rec);
+            medians.push(rec.median().expect("samples"));
             let delta = before.delta(&engine.cluster().fabric().metrics());
             reads.push(delta.one_sided_reads / (runs as u64 + 1));
         }
@@ -67,4 +77,6 @@ fn main() {
         reads.iter().step_by(2).sum::<u64>() / 6,
         reads.iter().skip(1).step_by(2).sum::<u64>() / 6,
     );
+    jr.engine(&engines[0].1);
+    jr.finish();
 }

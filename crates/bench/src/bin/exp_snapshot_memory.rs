@@ -11,12 +11,13 @@
 //! appended neighbour carries one timestamp per registered stream plus a
 //! version pointer, computed from the engine's append counters.
 
-use wukong_bench::{feed_engine, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_core::EngineConfig;
 use wukong_rdf::StreamId;
 use wukong_stream::StalenessBound;
 
 fn main() {
+    let mut jr = BenchJson::from_env("exp_snapshot_memory");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     println!(
@@ -59,6 +60,8 @@ fn main() {
         let vts_bytes = appended * (streams * 8 + 16) * (retain - 1);
         let without = with_sn + vts_bytes as f64;
 
+        jr.counter(&format!("retain{retain}/with_sn_bytes"), with_sn);
+        jr.counter(&format!("retain{retain}/without_bytes"), without);
         let mb = |b: f64| b / (1 << 20) as f64;
         print_row(vec![
             retain.to_string(),
@@ -82,4 +85,7 @@ fn main() {
         .max()
         .unwrap_or(0);
     println!("\nMax snapshot intervals retained by any key: {max_retained} (bound: 2 + in-flight)");
+    jr.counter("max_retained_snapshots", max_retained as f64);
+    jr.engine(&engine);
+    jr.finish();
 }

@@ -7,12 +7,13 @@
 //! batches stale. This binary sweeps the bound and reports the snapshot
 //! cadence and the resulting one-shot staleness.
 
-use wukong_bench::{feed_engine, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_core::EngineConfig;
 use wukong_rdf::StreamId;
 use wukong_stream::StalenessBound;
 
 fn main() {
+    let mut jr = BenchJson::from_env("exp_staleness");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     println!(
@@ -43,6 +44,10 @@ fn main() {
         // in the worst case (bound × batch interval).
         let cadence = w.duration as f64 / sn.max(1) as f64;
         let lag = bound * 100;
+        jr.counter(&format!("bound{bound}/stable_sn"), sn as f64);
+        jr.counter(&format!("bound{bound}/cadence_ms"), cadence);
+        jr.counter(&format!("bound{bound}/oneshot_lag_ms"), lag as f64);
+        jr.engine(&engine);
         // Sanity: continuous visibility is unaffected by the bound.
         let fresh = engine.stable_ts(StreamId(0));
         print_row(vec![
@@ -57,4 +62,5 @@ fn main() {
          coordination, staler one-shots); continuous queries always see \
          the stable VTS regardless."
     );
+    jr.finish();
 }

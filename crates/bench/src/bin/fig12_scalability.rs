@@ -4,11 +4,14 @@
 //! flat as nodes grow; group II (L4-L6, fork-join over the whole stored
 //! graph) speeds up 2.8-3.2× from 2 to 8 nodes.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_bench::{
+    feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, BenchJson, Scale,
+};
 use wukong_benchdata::lsbench;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("fig12_scalability");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let runs = scale.runs();
@@ -35,13 +38,19 @@ fn main() {
             let id = engine
                 .register_continuous(&lsbench::continuous_query(&w.bench, class, 0))
                 .expect("register");
-            medians[class - 1][ni] = sample_continuous(&engine, id, runs)
-                .median()
-                .expect("samples");
+            let rec = sample_continuous(&engine, id, runs);
+            jr.series(&format!("L{class}/nodes{nodes}"), &rec);
+            medians[class - 1][ni] = rec.median().expect("samples");
+        }
+        if nodes == *node_counts.last().expect("non-empty") {
+            jr.engine(&engine);
         }
     }
 
-    for (title, range) in [("group I (selective)", 0..3), ("group II (non-selective)", 3..6)] {
+    for (title, range) in [
+        ("group I (selective)", 0..3),
+        ("group II (non-selective)", 3..6),
+    ] {
         print_header(
             &format!("Fig 12 {title}: latency (ms) vs nodes"),
             &["query", "2", "4", "6", "8", "2→8 speedup"],
@@ -58,4 +67,5 @@ fn main() {
             ]);
         }
     }
+    jr.finish();
 }

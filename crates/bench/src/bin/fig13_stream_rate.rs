@@ -5,11 +5,14 @@
 //! with the rate (windows hold proportionally more tuples) yet stays low.
 
 use wukong_bench::workload::ls_workload_with;
-use wukong_bench::{feed_engine, fmt_ms, print_header, print_row, sample_continuous, Scale};
+use wukong_bench::{
+    feed_engine, fmt_ms, print_header, print_row, sample_continuous, BenchJson, Scale,
+};
 use wukong_benchdata::lsbench;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("fig13_stream_rate");
     let scale = Scale::from_env();
     let runs = scale.runs();
     let base_cfg = scale.ls_config();
@@ -34,13 +37,19 @@ fn main() {
             let id = engine
                 .register_continuous(&lsbench::continuous_query(&w.bench, class, 0))
                 .expect("register");
-            medians[class - 1][ri] = sample_continuous(&engine, id, runs)
-                .median()
-                .expect("samples");
+            let rec = sample_continuous(&engine, id, runs);
+            jr.series(&format!("L{class}/rate_x{m}"), &rec);
+            medians[class - 1][ri] = rec.median().expect("samples");
+        }
+        if ri + 1 == multipliers.len() {
+            jr.engine(&engine);
         }
     }
 
-    for (title, range) in [("group I (selective)", 0..3), ("group II (non-selective)", 3..6)] {
+    for (title, range) in [
+        ("group I (selective)", 0..3),
+        ("group II (non-selective)", 3..6),
+    ] {
         print_header(
             &format!("Fig 13 {title}: latency (ms) vs stream rate"),
             &["query", "x0.25", "x0.5", "x1", "x2", "x4"],
@@ -57,4 +66,5 @@ fn main() {
             ]);
         }
     }
+    jr.finish();
 }

@@ -11,7 +11,7 @@
 //! average latency. Paper shape: ~4.2× throughput from 2 to 8 nodes,
 //! ~1 M q/s peak, sub-ms median latency.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_benchdata::lsbench;
 use wukong_core::{EngineConfig, LatencyRecorder, WukongS};
 
@@ -55,6 +55,7 @@ pub fn mix_throughput(recs: &[LatencyRecorder], nodes: usize) -> (f64, f64) {
 }
 
 fn main() {
+    let mut jr = BenchJson::from_env("fig14_throughput_mix3");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let classes = [1usize, 2, 3];
@@ -84,6 +85,13 @@ fn main() {
         );
         let recs = measure_mix(&engine, &w.bench, &classes, variants, runs);
         let (thr, mean_ms) = mix_throughput(&recs, nodes);
+        jr.counter(&format!("throughput_qps/nodes{nodes}"), thr);
+        if nodes == 8 {
+            for (i, rec) in recs.iter().enumerate() {
+                jr.series(&format!("L{}/nodes8", classes[i]), rec);
+            }
+            jr.engine(&engine);
+        }
         print_row(vec![
             nodes.to_string(),
             format!("{:.0}", thr),
@@ -105,4 +113,5 @@ fn main() {
             fmt_ms(rec.percentile(100.0).expect("samples")),
         ]);
     }
+    jr.finish();
 }

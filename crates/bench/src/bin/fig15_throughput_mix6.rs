@@ -6,7 +6,7 @@
 //! scaling (~5× from 2 to 8 nodes) because the group II queries
 //! themselves get faster on more nodes.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_benchdata::lsbench;
 use wukong_core::{EngineConfig, LatencyRecorder, WukongS};
 
@@ -47,6 +47,7 @@ fn mix_throughput(recs: &[LatencyRecorder], nodes: usize) -> (f64, f64) {
 }
 
 fn main() {
+    let mut jr = BenchJson::from_env("fig15_throughput_mix6");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let classes = [1usize, 2, 3, 4, 5, 6];
@@ -78,6 +79,13 @@ fn main() {
         );
         let recs = measure_mix(&engine, &w.bench, &classes, variants, runs);
         let (thr, mean_ms) = mix_throughput(&recs, nodes);
+        jr.counter(&format!("throughput_qps/nodes{nodes}"), thr);
+        if nodes == 8 {
+            for (i, rec) in recs.iter().enumerate() {
+                jr.series(&format!("L{}/nodes8", classes[i]), rec);
+            }
+            jr.engine(&engine);
+        }
         first_thr.get_or_insert(thr);
         last_thr = thr;
         print_row(vec![
@@ -105,4 +113,5 @@ fn main() {
             fmt_ms(rec.percentile(100.0).expect("samples")),
         ]);
     }
+    jr.finish();
 }

@@ -8,11 +8,15 @@
 
 use wukong_baselines::{CompositePlan, CompositeProfile};
 use wukong_bench::workload::LS_STREAMS;
-use wukong_bench::{feed_composite, feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_composite, sample_continuous, Scale};
+use wukong_bench::{
+    feed_composite, feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_composite,
+    sample_continuous, BenchJson, Scale,
+};
 use wukong_benchdata::lsbench;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("fig4_breakdown");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let runs = scale.runs();
@@ -42,6 +46,8 @@ fn main() {
         ("(b) stream-first", CompositePlan::StreamFirst),
     ] {
         let (rec, bd) = sample_composite(&storm, id, w.duration, plan, runs);
+        jr.series(name, &rec);
+        jr.counter(&format!("{name}/cross_fraction"), bd.cross_fraction());
         print_row(vec![
             name.into(),
             fmt_ms(rec.median().expect("samples")),
@@ -62,6 +68,13 @@ fn main() {
         w.duration,
     );
     let wid = engine.register_continuous(&qc).expect("register");
-    let ws = sample_continuous(&engine, wid, runs).median().expect("samples");
-    println!("\nIntegrated Wukong+S runs QC in {} ms (no cross-system cost).", fmt_ms(ws));
+    let wrec = sample_continuous(&engine, wid, runs);
+    jr.series("wukong_s/QC", &wrec);
+    let ws = wrec.median().expect("samples");
+    println!(
+        "\nIntegrated Wukong+S runs QC in {} ms (no cross-system cost).",
+        fmt_ms(ws)
+    );
+    jr.engine(&engine);
+    jr.finish();
 }

@@ -9,13 +9,14 @@ use wukong_baselines::{CompositePlan, CompositeProfile};
 use wukong_bench::workload::LS_STREAMS;
 use wukong_bench::{
     feed_composite, feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_composite,
-    sample_continuous, Scale,
+    sample_continuous, BenchJson, Scale,
 };
 use wukong_benchdata::lsbench;
 use wukong_core::metrics::geometric_mean;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table2_latency_single");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let runs = scale.runs();
@@ -55,29 +56,48 @@ fn main() {
         .collect();
     let wids: Vec<usize> = texts
         .iter()
-        .map(|t| engine.register_continuous(t).expect("Wukong+S registration"))
+        .map(|t| {
+            engine
+                .register_continuous(t)
+                .expect("Wukong+S registration")
+        })
         .collect();
     let sids: Vec<usize> = texts
         .iter()
-        .map(|t| storm.register_continuous(t).expect("Storm+Wukong registration"))
+        .map(|t| {
+            storm
+                .register_continuous(t)
+                .expect("Storm+Wukong registration")
+        })
         .collect();
     let cids: Vec<usize> = texts
         .iter()
-        .map(|t| csparql.register_continuous(t).expect("CSPARQL registration"))
+        .map(|t| {
+            csparql
+                .register_continuous(t)
+                .expect("CSPARQL registration")
+        })
         .collect();
 
     print_header(
         "Table 2: single-node latency (ms), LSBench",
-        &["query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "CSPARQL"],
+        &[
+            "query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "CSPARQL",
+        ],
     );
 
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for (i, class) in (1..=lsbench::CONTINUOUS_CLASSES).enumerate() {
-        let ws = sample_continuous(&engine, wids[i], runs)
-            .median()
-            .expect("samples");
-        let (srec, sbd) =
-            sample_composite(&storm, sids[i], w.duration, CompositePlan::Interleaved, runs);
+        let wrec = sample_continuous(&engine, wids[i], runs);
+        jr.series(&format!("L{class}/wukong_s"), &wrec);
+        let ws = wrec.median().expect("samples");
+        let (srec, sbd) = sample_composite(
+            &storm,
+            sids[i],
+            w.duration,
+            CompositePlan::Interleaved,
+            runs,
+        );
         let s_total = srec.median().expect("samples");
         let (crec, _) = sample_composite(
             &csparql,
@@ -108,4 +128,10 @@ fn main() {
         String::new(),
         fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
     ]);
+    jr.counter(
+        "geo_mean_wukong_s_ms",
+        geometric_mean(geo[0].iter().copied()).unwrap_or(0.0),
+    );
+    jr.engine(&engine);
+    jr.finish();
 }

@@ -9,13 +9,14 @@ use wukong_baselines::{CompositePlan, CompositeProfile, SparkMode};
 use wukong_bench::workload::LS_STREAMS;
 use wukong_bench::{
     feed_composite, feed_engine, feed_spark, fmt_ms, ls_workload, print_header, print_row,
-    sample_composite, sample_continuous, Scale,
+    sample_composite, sample_continuous, BenchJson, Scale,
 };
 use wukong_benchdata::lsbench;
 use wukong_core::metrics::geometric_mean;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table3_latency_cluster");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -55,11 +56,19 @@ fn main() {
         .collect();
     let wids: Vec<usize> = texts
         .iter()
-        .map(|t| engine.register_continuous(t).expect("Wukong+S registration"))
+        .map(|t| {
+            engine
+                .register_continuous(t)
+                .expect("Wukong+S registration")
+        })
         .collect();
     let sids: Vec<usize> = texts
         .iter()
-        .map(|t| storm.register_continuous(t).expect("Storm+Wukong registration"))
+        .map(|t| {
+            storm
+                .register_continuous(t)
+                .expect("Storm+Wukong registration")
+        })
         .collect();
     let kids: Vec<usize> = texts
         .iter()
@@ -68,16 +77,23 @@ fn main() {
 
     print_header(
         "Table 3: 8-node latency (ms), LSBench",
-        &["query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "Spark"],
+        &[
+            "query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "Spark",
+        ],
     );
 
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for (i, class) in (1..=lsbench::CONTINUOUS_CLASSES).enumerate() {
-        let ws = sample_continuous(&engine, wids[i], runs)
-            .median()
-            .expect("samples");
-        let (srec, sbd) =
-            sample_composite(&storm, sids[i], w.duration, CompositePlan::Interleaved, runs);
+        let wrec = sample_continuous(&engine, wids[i], runs);
+        jr.series(&format!("L{class}/wukong_s"), &wrec);
+        let ws = wrec.median().expect("samples");
+        let (srec, sbd) = sample_composite(
+            &storm,
+            sids[i],
+            w.duration,
+            CompositePlan::Interleaved,
+            runs,
+        );
         let s_total = srec.median().expect("samples");
 
         let spark_runs = (runs / 10).max(3);
@@ -109,4 +125,10 @@ fn main() {
         String::new(),
         fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
     ]);
+    jr.counter(
+        "geo_mean_wukong_s_ms",
+        geometric_mean(geo[0].iter().copied()).unwrap_or(0.0),
+    );
+    jr.engine(&engine);
+    jr.finish();
 }

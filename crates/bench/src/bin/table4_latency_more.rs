@@ -10,13 +10,14 @@ use wukong_baselines::{CompositePlan, CompositeProfile, SparkMode};
 use wukong_bench::workload::LS_STREAMS;
 use wukong_bench::{
     feed_composite, feed_engine, feed_spark, feed_wukong_ext, fmt_ms, ls_workload, print_header,
-    print_row, sample_composite, sample_continuous, Scale,
+    print_row, sample_composite, sample_continuous, BenchJson, Scale,
 };
 use wukong_benchdata::lsbench;
 use wukong_core::metrics::geometric_mean;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table4_latency_more");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -58,7 +59,11 @@ fn main() {
         .collect();
     let wids: Vec<usize> = texts
         .iter()
-        .map(|t| engine.register_continuous(t).expect("Wukong+S registration"))
+        .map(|t| {
+            engine
+                .register_continuous(t)
+                .expect("Wukong+S registration")
+        })
         .collect();
     let hids: Vec<usize> = texts
         .iter()
@@ -75,35 +80,51 @@ fn main() {
 
     print_header(
         "Table 4: further 8-node comparisons (ms), LSBench",
-        &["query", "H+W all", "(Heron)", "(Wukong)", "Structured", "Wukong/Ext", "Wukong+S"],
+        &[
+            "query",
+            "H+W all",
+            "(Heron)",
+            "(Wukong)",
+            "Structured",
+            "Wukong/Ext",
+            "Wukong+S",
+        ],
     );
 
     let mut geo_h = Vec::new();
     let mut geo_e = Vec::new();
     let mut geo_w = Vec::new();
     for (i, class) in (1..=lsbench::CONTINUOUS_CLASSES).enumerate() {
-        let (hrec, hbd) =
-            sample_composite(&heron, hids[i], w.duration, CompositePlan::Interleaved, runs);
+        let (hrec, hbd) = sample_composite(
+            &heron,
+            hids[i],
+            w.duration,
+            CompositePlan::Interleaved,
+            runs,
+        );
         let h_total = hrec.median().expect("samples");
 
         let st = match structured_ids[i] {
             Some(id) => {
                 let n = (runs / 10).max(3);
-                let mut samples: Vec<f64> =
-                    (0..n).map(|_| structured.execute(id, w.duration).1).collect();
+                let mut samples: Vec<f64> = (0..n)
+                    .map(|_| structured.execute(id, w.duration).1)
+                    .collect();
                 samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 fmt_ms(samples[samples.len() / 2])
             }
             None => "x".into(),
         };
 
-        let mut ext_samples: Vec<f64> = (0..runs).map(|_| ext.execute(eids[i], w.duration).1).collect();
+        let mut ext_samples: Vec<f64> = (0..runs)
+            .map(|_| ext.execute(eids[i], w.duration).1)
+            .collect();
         ext_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let e_med = ext_samples[ext_samples.len() / 2];
 
-        let ws = sample_continuous(&engine, wids[i], runs)
-            .median()
-            .expect("samples");
+        let wrec = sample_continuous(&engine, wids[i], runs);
+        jr.series(&format!("L{class}/wukong_s"), &wrec);
+        let ws = wrec.median().expect("samples");
 
         geo_h.push(h_total);
         geo_e.push(e_med);
@@ -127,4 +148,10 @@ fn main() {
         fmt_ms(geometric_mean(geo_e.iter().copied()).unwrap_or(0.0)),
         fmt_ms(geometric_mean(geo_w.iter().copied()).unwrap_or(0.0)),
     ]);
+    jr.counter(
+        "geo_mean_wukong_s_ms",
+        geometric_mean(geo_w.iter().copied()).unwrap_or(0.0),
+    );
+    jr.engine(&engine);
+    jr.finish();
 }

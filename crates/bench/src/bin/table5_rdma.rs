@@ -4,12 +4,15 @@
 //! (TCP costs, forced fork-join). Paper shape: selective L1-L3 are
 //! insensitive (~1.0-1.1×); non-selective L4-L6 slow down 1.8-3.5×.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, Scale};
+use wukong_bench::{
+    feed_engine, fmt_ms, ls_workload, print_header, print_row, sample_continuous, BenchJson, Scale,
+};
 use wukong_benchdata::lsbench;
 use wukong_core::metrics::geometric_mean;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table5_rdma");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -49,8 +52,12 @@ fn main() {
         let text = lsbench::continuous_query(&w.bench, class, 0);
         let rid = rdma.register_continuous(&text).expect("register");
         let tid = tcp.register_continuous(&text).expect("register");
-        let r = sample_continuous(&rdma, rid, runs).median().expect("samples");
-        let t = sample_continuous(&tcp, tid, runs).median().expect("samples");
+        let rrec = sample_continuous(&rdma, rid, runs);
+        let trec = sample_continuous(&tcp, tid, runs);
+        jr.series(&format!("L{class}/rdma"), &rrec);
+        jr.series(&format!("L{class}/non_rdma"), &trec);
+        let r = rrec.median().expect("samples");
+        let t = trec.median().expect("samples");
         geo_r.push(r);
         geo_t.push(t);
         print_row(vec![
@@ -68,4 +75,8 @@ fn main() {
         fmt_ms(gt),
         format!("{:.1}X", gt / gr.max(1e-9)),
     ]);
+    jr.counter("geo_mean_rdma_ms", gr);
+    jr.counter("geo_mean_non_rdma_ms", gt);
+    jr.engine(&rdma);
+    jr.finish();
 }

@@ -5,11 +5,12 @@
 //! with the stream's rate (PO-L, the fastest stream, costs the most);
 //! stream-index building adds 0.21-0.43 ms on top.
 
-use wukong_bench::{feed_engine, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_core::EngineConfig;
 use wukong_rdf::StreamId;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table6_injection");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     println!(
@@ -46,6 +47,9 @@ fn main() {
             format!("{index:.3}"),
             format!("{:.3}", inject + index),
         ]);
+        jr.counter(&format!("{name}/inject_ms_per_batch"), inject);
+        jr.counter(&format!("{name}/index_ms_per_batch"), index);
+        jr.counter(&format!("{name}/batches"), batches as f64);
     }
     println!(
         "\n(per-batch averages over the whole run; timeless tuples: {}, timing tuples: {})",
@@ -56,4 +60,6 @@ fn main() {
             .map(|i| engine.injection_stats(StreamId(i)).0.timing)
             .sum::<usize>(),
     );
+    jr.engine(&engine);
+    jr.finish();
 }

@@ -5,10 +5,11 @@
 //! per-batch key overhead amortises worse, and none at all for the
 //! timing-only GPS stream).
 
-use wukong_bench::{feed_engine, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table7_memory");
     let scale = Scale::from_env();
     let w = ls_workload(scale);
     let minutes = w.duration as f64 / 60_000.0;
@@ -55,6 +56,8 @@ fn main() {
         if i != 4 {
             total_index += index;
         }
+        jr.counter(&format!("{name}/raw_bytes"), data);
+        jr.counter(&format!("{name}/index_bytes"), index);
         print_row(vec![
             (*name).into(),
             format!("{:.3}", mb(data)),
@@ -68,4 +71,6 @@ fn main() {
         format!("{:.3}", mb(total_index)),
         format!("{:.1}%", 100.0 * total_index / total_data.max(1.0)),
     ]);
+    jr.engine(&engine);
+    jr.finish();
 }

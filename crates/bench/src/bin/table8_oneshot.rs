@@ -6,12 +6,13 @@
 //! performance; enabling streams costs < 5%, and concurrent continuous
 //! queries add ≈ 5% more despite sharing the store.
 
-use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, Scale};
+use wukong_bench::{feed_engine, fmt_ms, ls_workload, print_header, print_row, BenchJson, Scale};
 use wukong_benchdata::lsbench;
 use wukong_core::metrics::geometric_mean;
-use wukong_core::EngineConfig;
+use wukong_core::{EngineConfig, LatencyRecorder};
 
 fn main() {
+    let mut jr = BenchJson::from_env("table8_oneshot");
     let scale = Scale::from_env();
     let nodes = 8;
     let w = ls_workload(scale);
@@ -80,6 +81,13 @@ fn main() {
             })
             .collect();
 
+        for (name, samples) in [("wukong", &s0), ("wukongs_off", &s1), ("wukongs_on", &s2)] {
+            let mut rec = LatencyRecorder::new();
+            for &v in samples.iter() {
+                rec.record(v);
+            }
+            jr.series(&format!("S{class}/{name}"), &rec);
+        }
         let (m0, m1, m2) = (median(&mut s0), median(&mut s1), median(&mut s2));
         geo[0].push(m0);
         geo[1].push(m1);
@@ -97,4 +105,16 @@ fn main() {
         fmt_ms(geometric_mean(geo[1].iter().copied()).unwrap_or(0.0)),
         fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
     ]);
+    for (name, series) in [
+        ("wukong", &geo[0]),
+        ("wukongs_off", &geo[1]),
+        ("wukongs_on", &geo[2]),
+    ] {
+        jr.counter(
+            &format!("geo_mean_{name}_ms"),
+            geometric_mean(series.iter().copied()).unwrap_or(0.0),
+        );
+    }
+    jr.engine(&wukongs);
+    jr.finish();
 }

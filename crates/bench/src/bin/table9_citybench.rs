@@ -9,13 +9,14 @@ use wukong_baselines::{CompositePlan, CompositeProfile, SparkMode};
 use wukong_bench::workload::CITY_STREAMS;
 use wukong_bench::{
     city_workload, feed_composite, feed_engine, feed_spark, fmt_ms, print_header, print_row,
-    sample_composite, sample_continuous, Scale,
+    sample_composite, sample_continuous, BenchJson, Scale,
 };
 use wukong_benchdata::citybench;
 use wukong_core::metrics::geometric_mean;
 use wukong_core::EngineConfig;
 
 fn main() {
+    let mut jr = BenchJson::from_env("table9_citybench");
     let scale = Scale::from_env();
     let w = city_workload(scale);
     let runs = scale.runs();
@@ -51,19 +52,30 @@ fn main() {
 
     print_header(
         "Table 9: CityBench latency (ms), single node",
-        &["query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "Spark"],
+        &[
+            "query", "Wukong+S", "S+W all", "(Storm)", "(Wukong)", "Spark",
+        ],
     );
 
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for class in 1..=citybench::CONTINUOUS_CLASSES {
         let text = citybench::continuous_query(&w.bench, class, 0);
-        let wid = engine.register_continuous(&text).expect("Wukong+S registration");
-        let sid = storm.register_continuous(&text).expect("Storm registration");
-        let kid = spark.register_continuous(&text).expect("Spark registration");
+        let wid = engine
+            .register_continuous(&text)
+            .expect("Wukong+S registration");
+        let sid = storm
+            .register_continuous(&text)
+            .expect("Storm registration");
+        let kid = spark
+            .register_continuous(&text)
+            .expect("Spark registration");
 
-        let ws = sample_continuous(&engine, wid, runs).median().expect("samples");
+        let wrec = sample_continuous(&engine, wid, runs);
+        jr.series(&format!("C{class}/wukong_s"), &wrec);
+        let ws = wrec.median().expect("samples");
         let (srec, sbd) =
             sample_composite(&storm, sid, w.duration, CompositePlan::Interleaved, runs);
+        jr.series(&format!("C{class}/storm_wukong"), &srec);
         let s_total = srec.median().expect("samples");
 
         let n = (runs / 10).max(3);
@@ -98,4 +110,16 @@ fn main() {
         String::new(),
         fmt_ms(geometric_mean(geo[2].iter().copied()).unwrap_or(0.0)),
     ]);
+    for (name, series) in [
+        ("wukong_s", &geo[0]),
+        ("storm_wukong", &geo[1]),
+        ("spark", &geo[2]),
+    ] {
+        jr.counter(
+            &format!("geo_mean_{name}_ms"),
+            geometric_mean(series.iter().copied()).unwrap_or(0.0),
+        );
+    }
+    jr.engine(&engine);
+    jr.finish();
 }

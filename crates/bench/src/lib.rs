@@ -18,8 +18,9 @@
 pub mod report;
 pub mod workload;
 
-pub use report::{fmt_ms, print_header, print_row};
+pub use report::{fmt_ms, print_header, print_row, BenchJson, JSON_SCHEMA_VERSION};
 pub use workload::{
-    city_workload, feed_composite, feed_engine, feed_spark, feed_wukong_ext, ls_workload,
-    sample_continuous, sample_composite, CityWorkload, LsWorkload, Scale,
+    city_workload, city_workload_seeded, feed_composite, feed_engine, feed_spark, feed_wukong_ext,
+    ls_workload, ls_workload_seeded, sample_composite, sample_continuous, seed_from_env,
+    CityWorkload, LsWorkload, Scale,
 };

@@ -1,5 +1,240 @@
-//! Table formatting helpers for the experiment binaries.
+//! Table formatting helpers for the experiment binaries, plus the
+//! machine-readable `--json <path>` report every binary supports.
 
+use std::path::PathBuf;
+
+use wukong_core::metrics::LatencyRecorder;
+use wukong_core::WukongS;
+use wukong_obs::{HistogramSnapshot, Json, RegistrySnapshot};
+
+/// Version stamped into every JSON report as `schema_version`. Bump when
+/// the document layout changes incompatibly.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// Collects an experiment's machine-readable results and writes them as
+/// one schema-stable JSON document when the binary was invoked with
+/// `--json <path>`. When the flag is absent every method is a cheap
+/// no-op, so binaries record unconditionally.
+///
+/// Document layout (`schema_version` 1):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "experiment": "table2_latency_single",
+///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
+///   "counters":   { "<name>": <number> },
+///   "fabric":     { "one_sided_reads", "messages", "bytes_read", "bytes_sent", "charged_ns" },
+///   "stages": {
+///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
+///     "streams": { "<stream>": { "<stage>": {...} } }
+///   }
+/// }
+/// ```
+///
+/// where every `{...}` stage/histogram entry carries
+/// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
+pub struct BenchJson {
+    path: Option<PathBuf>,
+    doc: Json,
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    let mut o = Json::object();
+    o.set("count", Json::from(h.count));
+    o.set("sum_ns", Json::from(h.sum));
+    o.set(
+        "p50_ns",
+        h.percentile(0.50).map(Json::from).unwrap_or(Json::Null),
+    );
+    o.set(
+        "p99_ns",
+        h.percentile(0.99).map(Json::from).unwrap_or(Json::Null),
+    );
+    o
+}
+
+fn stages_json(reg: &RegistrySnapshot) -> Json {
+    let mut queries = Json::object();
+    for (class, series) in &reg.queries {
+        let mut entry = Json::object();
+        entry.set("end_to_end_ns", histogram_json(&series.end_to_end));
+        for (stage, h) in &series.stages {
+            entry.set(stage.name(), histogram_json(h));
+        }
+        queries.set(class, entry);
+    }
+    let mut streams = Json::object();
+    for (name, series) in &reg.streams {
+        let mut entry = Json::object();
+        for (stage, h) in &series.stages {
+            entry.set(stage.name(), histogram_json(h));
+        }
+        streams.set(name, entry);
+    }
+    let mut o = Json::object();
+    o.set("queries", queries);
+    o.set("streams", streams);
+    o
+}
+
+impl BenchJson {
+    /// Builds a sink for `experiment`, reading `--json <path>` from the
+    /// process arguments. Without the flag the sink is inactive.
+    pub fn from_env(experiment: &str) -> Self {
+        let mut args = std::env::args();
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                path = args.next().map(PathBuf::from);
+                if path.is_none() {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self::build(experiment, path)
+    }
+
+    /// Builds an always-active sink writing to `path` (tests).
+    pub fn to_path(experiment: &str, path: impl Into<PathBuf>) -> Self {
+        Self::build(experiment, Some(path.into()))
+    }
+
+    fn build(experiment: &str, path: Option<PathBuf>) -> Self {
+        let mut doc = Json::object();
+        doc.set("schema_version", Json::from(JSON_SCHEMA_VERSION));
+        doc.set("experiment", Json::from(experiment));
+        doc.set("latency_ms", Json::object());
+        doc.set("counters", Json::object());
+        doc.set("fabric", Json::object());
+        doc.set("stages", {
+            let mut s = Json::object();
+            s.set("queries", Json::object());
+            s.set("streams", Json::object());
+            s
+        });
+        BenchJson { path, doc }
+    }
+
+    /// Whether a report will actually be written.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    fn member(&mut self, key: &str) -> &mut Json {
+        match &mut self.doc {
+            Json::Obj(map) => map.get_mut(key).expect("member created in build()"),
+            _ => unreachable!("doc is an object"),
+        }
+    }
+
+    /// Records a latency series (percentiles in milliseconds).
+    pub fn series(&mut self, name: &str, rec: &LatencyRecorder) {
+        if !self.active() {
+            return;
+        }
+        let mut entry = Json::object();
+        entry.set("samples", Json::from(rec.len()));
+        for (key, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("p999", 99.9)] {
+            entry.set(key, rec.percentile(p).map(Json::from).unwrap_or(Json::Null));
+        }
+        entry.set("mean", rec.mean().map(Json::from).unwrap_or(Json::Null));
+        self.member("latency_ms").set(name, entry);
+    }
+
+    /// Records one free-form numeric counter (op counts, bytes, …).
+    pub fn counter(&mut self, name: &str, value: f64) {
+        if !self.active() {
+            return;
+        }
+        self.member("counters").set(name, Json::from(value));
+    }
+
+    /// Captures an engine's fabric counters, operational counters, and
+    /// staged latency breakdown.
+    pub fn engine(&mut self, engine: &WukongS) {
+        if !self.active() {
+            return;
+        }
+        let stats = engine.stats();
+        let mut fabric = Json::object();
+        fabric.set("one_sided_reads", Json::from(stats.fabric.one_sided_reads));
+        fabric.set("messages", Json::from(stats.fabric.messages));
+        fabric.set("bytes_read", Json::from(stats.fabric.bytes_read));
+        fabric.set("bytes_sent", Json::from(stats.fabric.bytes_sent));
+        fabric.set("charged_ns", Json::from(stats.fabric.charged_ns));
+        *self.member("fabric") = fabric;
+        for (name, v) in [
+            ("nodes", stats.nodes as f64),
+            ("streams", stats.streams as f64),
+            ("continuous_queries", stats.continuous_queries as f64),
+            ("stored_triples", stats.stored_triples as f64),
+            ("store_bytes", stats.store_bytes as f64),
+            ("stream_index_bytes", stats.stream_index_bytes as f64),
+            ("transient_bytes", stats.transient_bytes as f64),
+            ("raw_stream_bytes", stats.raw_stream_bytes as f64),
+            ("batches_processed", stats.batches_processed as f64),
+        ] {
+            self.counter(name, v);
+        }
+        *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
+    }
+
+    /// The document built so far (tests).
+    pub fn document(&self) -> &Json {
+        &self.doc
+    }
+
+    /// Writes the report if `--json` was given. Returns the path written.
+    pub fn finish(self) -> Option<PathBuf> {
+        let path = self.path?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", parent.display()));
+        }
+        std::fs::write(&path, self.doc.to_string_pretty())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("wrote JSON report to {}", path.display());
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod bench_json_tests {
+    use super::*;
+
+    #[test]
+    fn inactive_sink_is_a_noop() {
+        let mut j = BenchJson::build("t", None);
+        let mut rec = LatencyRecorder::new();
+        rec.record(1.0);
+        j.series("a", &rec);
+        j.counter("b", 2.0);
+        assert_eq!(j.document().get("latency_ms"), Some(&Json::object()));
+        assert_eq!(j.finish(), None);
+    }
+
+    #[test]
+    fn document_is_schema_stable() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let mut rec = LatencyRecorder::new();
+        for v in [1.0, 2.0, 3.0] {
+            rec.record(v);
+        }
+        j.series("L1", &rec);
+        j.counter("ops", 42.0);
+        let doc = j.document();
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
+        let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
+        assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
+        assert_eq!(l1.get("p50").and_then(Json::as_f64), Some(2.0));
+        for key in ["counters", "fabric", "stages"] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+    }
+}
 /// Formats milliseconds the way the paper's tables do: two decimals below
 /// 10 ms, one decimal below 100, integral (with thousands separators)
 /// above.

@@ -1,7 +1,9 @@
 //! Workload construction and engine feeding for the experiments.
 
 use std::sync::Arc;
-use wukong_baselines::{Composite, CompositePlan, CompositeProfile, ExecBreakdown, SparkLike, SparkMode, WukongExt};
+use wukong_baselines::{
+    Composite, CompositePlan, CompositeProfile, ExecBreakdown, SparkLike, SparkMode, WukongExt,
+};
 use wukong_benchdata::{CityBench, CityBenchConfig, LsBench, LsBenchConfig, TimedTuple};
 use wukong_core::{EngineConfig, LatencyRecorder, WukongS};
 use wukong_rdf::{StringServer, Timestamp, Triple};
@@ -84,9 +86,24 @@ pub struct LsWorkload {
     pub duration: Timestamp,
 }
 
-/// Builds the LSBench workload at `scale`.
+/// The RNG seed experiments run with: `WUKONG_SEED` if set, else the
+/// generator default (42). Generation is fully deterministic per seed,
+/// so two runs with the same seed see identical triple streams.
+pub fn seed_from_env() -> u64 {
+    std::env::var("WUKONG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Builds the LSBench workload at `scale`, seeded from `WUKONG_SEED`.
 pub fn ls_workload(scale: Scale) -> LsWorkload {
-    ls_workload_with(scale.ls_config(), scale.ls_duration())
+    ls_workload_seeded(scale, seed_from_env())
+}
+
+/// Builds the LSBench workload at `scale` with an explicit RNG seed.
+pub fn ls_workload_seeded(scale: Scale, seed: u64) -> LsWorkload {
+    ls_workload_with(scale.ls_config().with_seed(seed), scale.ls_duration())
 }
 
 /// Builds an LSBench workload with explicit parameters.
@@ -126,10 +143,19 @@ pub struct CityWorkload {
 }
 
 /// Builds the CityBench workload (paper-default rates; `scale` only
-/// adjusts the driven duration — the real benchmark is tiny, §6.10).
+/// adjusts the driven duration — the real benchmark is tiny, §6.10),
+/// seeded from `WUKONG_SEED`.
 pub fn city_workload(scale: Scale) -> CityWorkload {
+    city_workload_seeded(scale, seed_from_env())
+}
+
+/// Builds the CityBench workload at `scale` with an explicit RNG seed.
+pub fn city_workload_seeded(scale: Scale, seed: u64) -> CityWorkload {
     let strings = Arc::new(StringServer::new());
-    let mut bench = CityBench::new(CityBenchConfig::default(), Arc::clone(&strings));
+    let mut bench = CityBench::new(
+        CityBenchConfig::default().with_seed(seed),
+        Arc::clone(&strings),
+    );
     let stored = bench.stored_triples();
     let duration = match scale {
         Scale::Tiny => 5_000,

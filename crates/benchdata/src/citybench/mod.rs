@@ -37,9 +37,7 @@ pub const PK2: usize = 5;
 pub const PL1: usize = 6;
 
 /// The paper's default stream rates, tuples/second (Table 1).
-pub const PAPER_RATES: [f64; 11] = [
-    19.0, 19.0, 12.0, 7.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0,
-];
+pub const PAPER_RATES: [f64; 11] = [19.0, 19.0, 12.0, 7.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0];
 
 /// Generator parameters.
 #[derive(Debug, Clone)]
@@ -74,6 +72,14 @@ impl Default for CityBenchConfig {
             rate_scale: 1.0,
             seed: 42,
         }
+    }
+}
+
+impl CityBenchConfig {
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -128,8 +134,12 @@ impl CityBench {
                 .collect(),
         ];
         let lots = [
-            (0..cfg.parking_lots).map(|i| e(&format!("pk1l{i}"))).collect(),
-            (0..cfg.parking_lots).map(|i| e(&format!("pk2l{i}"))).collect(),
+            (0..cfg.parking_lots)
+                .map(|i| e(&format!("pk1l{i}")))
+                .collect(),
+            (0..cfg.parking_lots)
+                .map(|i| e(&format!("pk2l{i}")))
+                .collect(),
         ];
         let pl_sensors = (0..5)
             .map(|s| {
@@ -294,7 +304,11 @@ impl CityBench {
 
     /// A deterministic traffic-sensor name for query variants.
     pub fn vt_sensor_name(&self, set: usize, variant: usize) -> String {
-        format!("vt{}s{}", set + 1, (variant * 31) % self.cfg.traffic_sensors)
+        format!(
+            "vt{}s{}",
+            set + 1,
+            (variant * 31) % self.cfg.traffic_sensors
+        )
     }
 
     /// A deterministic parking-lot name for query variants.
@@ -323,7 +337,10 @@ mod tests {
         let mut b = bench();
         let tuples = b.generate(0, 60_000);
         for (s, rate) in PAPER_RATES.iter().enumerate() {
-            let count = tuples.iter().filter(|t| t.stream == StreamId(s as u16)).count();
+            let count = tuples
+                .iter()
+                .filter(|t| t.stream == StreamId(s as u16))
+                .count();
             let expect = rate * 60.0;
             assert!(
                 (count as f64 - expect).abs() <= expect * 0.2 + 2.0,

@@ -99,6 +99,21 @@ impl LsBenchConfig {
             seed: 7,
         }
     }
+
+    /// A tiny configuration with an explicit RNG seed, for tests that
+    /// check same-seed reproducibility.
+    pub fn tiny_seeded(seed: u64) -> Self {
+        LsBenchConfig {
+            seed,
+            ..Self::tiny()
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 pub(crate) struct Preds {
@@ -349,7 +364,10 @@ impl LsBench {
 
     /// A deterministic post name for query variants.
     pub fn post_name(&self, variant: usize) -> String {
-        format!("p{}", (variant * 104_729) % (self.cfg.users * self.cfg.posts_per_user))
+        format!(
+            "p{}",
+            (variant * 104_729) % (self.cfg.users * self.cfg.posts_per_user)
+        )
     }
 
     /// A deterministic hashtag name for query variants.
@@ -386,7 +404,10 @@ mod tests {
         let tuples = b.generate(0, 10_000);
         let rates = b.rates();
         for (s, rate) in rates.iter().enumerate() {
-            let count = tuples.iter().filter(|t| t.stream == StreamId(s as u16)).count();
+            let count = tuples
+                .iter()
+                .filter(|t| t.stream == StreamId(s as u16))
+                .count();
             let expect = rate * 10.0;
             assert!(
                 (count as f64 - expect).abs() <= expect * 0.2 + 2.0,

@@ -90,18 +90,15 @@ mod tests {
         let batch = Batch {
             stream: StreamId(0),
             timestamp: 100,
-            tuples: vec![StreamTuple::timeless(Triple::new(Vid(1), Pid(4), Vid(3)), 80)],
+            tuples: vec![StreamTuple::timeless(
+                Triple::new(Vid(1), Pid(4), Vid(3)),
+                80,
+            )],
             discarded: 0,
         };
         let subs = dispatch(&batch, cluster.shard_map());
         let mut store = NodeStreamStore::new(1 << 20);
-        let (ib, _) = Injector.apply(
-            cluster.shard(0),
-            &mut store,
-            &subs[0],
-            100,
-            SnapshotId(1),
-        );
+        let (ib, _) = Injector.apply(cluster.shard(0), &mut store, &subs[0], 100, SnapshotId(1));
         stream.indexes[0].write().push_batch(ib);
 
         let access = NodeAccess::new(&cluster, NodeId(0));
@@ -133,7 +130,11 @@ mod tests {
         );
         assert_eq!(out, vec![Vid(2)]);
         assert_eq!(
-            access.estimate(Key::new(Vid(1), Pid(4), Dir::Out), GraphName::Stream(0), &ctx),
+            access.estimate(
+                Key::new(Vid(1), Pid(4), Dir::Out),
+                GraphName::Stream(0),
+                &ctx
+            ),
             1
         );
     }

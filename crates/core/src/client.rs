@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn oneshot_roundtrip_through_client() {
         let client = Client::connect(pool());
-        match client.query("SELECT ?X WHERE { Logan po ?X }").expect("runs") {
+        match client
+            .query("SELECT ?X WHERE { Logan po ?X }")
+            .expect("runs")
+        {
             Submitted::Results { results, .. } => assert_eq!(results.rows.len(), 1),
             other => panic!("expected results, got {other:?}"),
         }

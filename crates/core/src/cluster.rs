@@ -22,9 +22,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use wukong_net::{Fabric, NodeId, TaskTimer};
 use wukong_rdf::{Key, StringServer, Triple, Vid};
-use wukong_store::{
-    PersistentShard, ShardMap, SnapshotId, StreamIndex, TransientStore,
-};
+use wukong_store::{PersistentShard, ShardMap, SnapshotId, StreamIndex, TransientStore};
 use wukong_stream::StreamSchema;
 
 /// Per-stream cluster state.
@@ -41,6 +39,8 @@ pub struct StreamState {
     pub subscribers: RwLock<HashSet<u16>>,
     /// Raw stream bytes received so far (Table 7 accounting).
     pub raw_bytes: RwLock<u64>,
+    /// Cumulative GC sweep results across nodes.
+    pub gc_stats: RwLock<wukong_store::gc::GcStats>,
 }
 
 impl StreamState {
@@ -50,9 +50,12 @@ impl StreamState {
             transients: (0..nodes)
                 .map(|_| RwLock::new(TransientStore::new(transient_budget)))
                 .collect(),
-            indexes: (0..nodes).map(|_| RwLock::new(StreamIndex::new())).collect(),
+            indexes: (0..nodes)
+                .map(|_| RwLock::new(StreamIndex::new()))
+                .collect(),
             subscribers: RwLock::new(HashSet::new()),
             raw_bytes: RwLock::new(0),
+            gc_stats: RwLock::new(Default::default()),
         }
     }
 
@@ -77,6 +80,38 @@ pub struct Cluster {
     transient_budget: usize,
     /// Whether stream indexes replicate to subscriber nodes (§4.2).
     pub replicate_indexes: bool,
+    obs: Arc<wukong_obs::Registry>,
+}
+
+/// A cheap, cloneable handle onto a deployment's shared observability
+/// surfaces: the staged-latency [`Registry`](wukong_obs::Registry) and
+/// the fabric operation counters. Benchmarks hold one of these across an
+/// experiment and diff snapshots around the measured interval.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    cluster: Arc<Cluster>,
+}
+
+impl ClusterHandle {
+    /// Wraps a shared cluster.
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        ClusterHandle { cluster }
+    }
+
+    /// The staged-latency registry.
+    pub fn obs(&self) -> &Arc<wukong_obs::Registry> {
+        self.cluster.obs()
+    }
+
+    /// Point-in-time copy of every stage/latency series.
+    pub fn obs_snapshot(&self) -> wukong_obs::RegistrySnapshot {
+        self.cluster.obs().snapshot()
+    }
+
+    /// Point-in-time copy of the fabric operation counters.
+    pub fn fabric_metrics(&self) -> wukong_net::MetricsSnapshot {
+        self.cluster.fabric().metrics()
+    }
 }
 
 impl Cluster {
@@ -98,7 +133,13 @@ impl Cluster {
             streams: RwLock::new(Vec::new()),
             transient_budget: config.transient_budget_bytes,
             replicate_indexes: config.replicate_stream_indexes,
+            obs: Arc::new(wukong_obs::Registry::new()),
         }
+    }
+
+    /// The observability registry (staged latency histograms).
+    pub fn obs(&self) -> &Arc<wukong_obs::Registry> {
+        &self.obs
     }
 
     /// Number of nodes.
@@ -146,8 +187,8 @@ impl Cluster {
             self.shards[self.shard_map.node_of_key(k) as usize].append_owned(k, t.s, sn, None);
         }
         let in_key = t.in_key();
-        let (_, first_in) =
-            self.shards[self.shard_map.node_of_key(in_key) as usize].append_owned(in_key, t.s, sn, None);
+        let (_, first_in) = self.shards[self.shard_map.node_of_key(in_key) as usize]
+            .append_owned(in_key, t.s, sn, None);
         if first_in {
             let k = Key::index(t.p, Dir::In);
             self.shards[self.shard_map.node_of_key(k) as usize].append_owned(k, t.o, sn, None);
@@ -288,7 +329,9 @@ impl Cluster {
         let idx_count = if key.is_index() {
             let mut v = Vec::new();
             for index in &stream.indexes {
-                index.read().vertices_in(key.pid(), key.dir(), lo, hi, &mut v);
+                index
+                    .read()
+                    .vertices_in(key.pid(), key.dir(), lo, hi, &mut v);
             }
             v.len()
         } else {
@@ -336,7 +379,13 @@ mod tests {
         c.load_base_triple(t);
         let mut out = Vec::new();
         let mut timer = TaskTimer::start();
-        c.stored_neighbors(NodeId(0), t.out_key(), SnapshotId::BASE, &mut timer, &mut out);
+        c.stored_neighbors(
+            NodeId(0),
+            t.out_key(),
+            SnapshotId::BASE,
+            &mut timer,
+            &mut out,
+        );
         assert_eq!(out, vec![t.o]);
     }
 

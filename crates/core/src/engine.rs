@@ -10,16 +10,15 @@ use crate::access::NodeAccess;
 use crate::checkpoint::{Checkpoint, LoggedBatch, LoggedQuery};
 use crate::cluster::Cluster;
 use crate::config::{EngineConfig, ExecMode};
-use crate::forkjoin::execute_forkjoin;
+use crate::forkjoin::execute_forkjoin_traced;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wukong_net::{NodeId, TaskTimer};
+use wukong_obs::{Stage, StageTrace};
 use wukong_query::exec::{ExecContext, StringLiteralResolver, WindowInstance};
-use wukong_query::{
-    parse_query, plan_query, Plan, Query, QueryError, QueryKind, ResultSet,
-};
+use wukong_query::{parse_query, plan_query, Plan, Query, QueryError, QueryKind, ResultSet};
 use wukong_rdf::{StreamId, StringServer, Timestamp, Triple};
 use wukong_store::gc;
 use wukong_stream::window::StreamWindow;
@@ -74,6 +73,9 @@ pub struct Firing {
     pub results: ResultSet,
     /// Total latency: real compute + charged network time, ms.
     pub latency_ms: f64,
+    /// Staged breakdown of this firing's latency (the disjoint query
+    /// stages sum to `latency_ms`; fork-join sub-spans overlap).
+    pub stages: StageTrace,
 }
 
 struct Registered {
@@ -157,6 +159,13 @@ impl WukongS {
         &self.cluster
     }
 
+    /// A cloneable handle onto the deployment's observability surfaces
+    /// (staged-latency registry + fabric counters); outlives `&self`
+    /// borrows, so monitors can hold it across an experiment.
+    pub fn handle(&self) -> crate::cluster::ClusterHandle {
+        crate::cluster::ClusterHandle::new(Arc::clone(&self.cluster))
+    }
+
     /// The configuration this deployment runs under.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
@@ -204,11 +213,26 @@ impl WukongS {
                 sealed.extend(a.advance_to(horizon));
             }
         }
+        self.drain_adaptor_work(&mut pl);
         sealed.sort_by_key(|b| b.timestamp);
         for b in sealed {
             self.enqueue_batch(&mut pl, b);
         }
         self.drain_pending(&mut pl);
+    }
+
+    /// Drains each adaptor's accumulated windowing/sealing time into its
+    /// stream's `Adaptor` stage histogram.
+    fn drain_adaptor_work(&self, pl: &mut Pipeline) {
+        for a in &mut pl.adaptors {
+            let ns = a.take_work_ns();
+            if ns > 0 {
+                let name = a.schema().name.clone();
+                self.cluster
+                    .obs()
+                    .record_stream_stage(&name, Stage::Adaptor, ns);
+            }
+        }
     }
 
     /// Advances every stream's clock to `ts`, sealing quiet batches (the
@@ -219,6 +243,7 @@ impl WukongS {
         for a in &mut pl.adaptors {
             sealed.extend(a.advance_to(ts));
         }
+        self.drain_adaptor_work(&mut pl);
         // Preserve cross-stream time order for snapshot assignment.
         sealed.sort_by_key(|b| b.timestamp);
         for b in sealed {
@@ -232,9 +257,9 @@ impl WukongS {
     /// N-Triples-style lines with IRI framing and a timestamp).
     fn textual_bytes(&self, batch: &Batch) -> u64 {
         const FRAMING: u64 = 24; // brackets, separators, timestamp digits
-        // Workload generators intern short local names; on the wire each
-        // term carries its namespace IRI (LSBench's raw data averages
-        // ~174 B/triple: 3.75 B triples = 653 GB raw, 6.1).
+                                 // Workload generators intern short local names; on the wire each
+                                 // term carries its namespace IRI (LSBench's raw data averages
+                                 // ~174 B/triple: 3.75 B triples = 653 GB raw, 6.1).
         const IRI_PREFIX: u64 = 30;
         let ss = self.strings();
         batch
@@ -296,6 +321,7 @@ impl WukongS {
         // Dispatch: the stream enters at one node; each non-empty remote
         // sub-batch costs a message (background cost, counted in fabric
         // metrics but not on any query's latency).
+        let dispatch_start = std::time::Instant::now();
         let subs = dispatch(&batch, self.cluster.shard_map());
         let entry = NodeId((s % self.cluster.nodes()) as u16);
         let mut scratch = TaskTimer::start();
@@ -309,6 +335,7 @@ impl WukongS {
                 );
             }
         }
+        let dispatch_ns = dispatch_start.elapsed().as_nanos() as u64;
 
         // Inject on every node, collecting per-node receipts and stats.
         // Each node applies only the key updates it owns; first-edge
@@ -318,8 +345,7 @@ impl WukongS {
         let merge = pl.merge_upto;
         let ts = batch.timestamp;
         let nodes = self.cluster.nodes();
-        let mut receipts: Vec<Vec<wukong_store::base::AppendReceipt>> =
-            vec![Vec::new(); nodes];
+        let mut receipts: Vec<Vec<wukong_store::base::AppendReceipt>> = vec![Vec::new(); nodes];
         let mut stats: Vec<InjectStats> = vec![InjectStats::default(); nodes];
         let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
         for sub in &subs {
@@ -415,6 +441,28 @@ impl WukongS {
             }
         }
 
+        // Record this batch's staged breakdown under its stream's series.
+        // Injection includes the fault-tolerance logging delay (it is
+        // part of the injection path's latency, §6.8).
+        let mut batch_trace = StageTrace::new();
+        batch_trace.add(Stage::Dispatch, dispatch_ns);
+        let logged_ns = if self.cfg.fault_tolerance {
+            LOGGING_DELAY_NS
+        } else {
+            0
+        };
+        batch_trace.add(
+            Stage::Injection,
+            logged_ns + results.iter().map(|(_, st)| st.inject_ns).sum::<u64>(),
+        );
+        batch_trace.add(
+            Stage::StreamIndex,
+            results.iter().map(|(_, st)| st.index_ns).sum::<u64>(),
+        );
+        self.cluster
+            .obs()
+            .record_stream(&stream.schema.name, &batch_trace);
+
         // Coordinator bookkeeping: per-node insertion reports.
         for (node, (_, stats)) in results.into_iter().enumerate() {
             pl.inject_stats[s].add(&stats);
@@ -450,11 +498,19 @@ impl WukongS {
         };
         let expiry = gc::expiry_horizon(stable_ts, [max_range + self.cfg.gc_slack_ms]);
         let stream = self.cluster.stream(s);
+        let t0 = std::time::Instant::now();
+        let mut swept = gc::GcStats::default();
         for n in 0..self.cluster.nodes() {
             let mut transient = stream.transients[n].write();
             let mut index = stream.indexes[n].write();
-            gc::sweep(&mut transient, &mut index, expiry);
+            swept.absorb(gc::sweep(&mut transient, &mut index, expiry));
         }
+        stream.gc_stats.write().absorb(swept);
+        self.cluster.obs().record_stream_stage(
+            &stream.schema.name,
+            Stage::Gc,
+            t0.elapsed().as_nanos() as u64,
+        );
     }
 
     /// Registers a continuous query from C-SPARQL text.
@@ -533,11 +589,7 @@ impl WukongS {
             let pl = self.pipeline.lock();
             pl.coordinator.stable_vts().clone()
         };
-        let registered_at = stream_map
-            .iter()
-            .map(|&s| stable.get(s))
-            .min()
-            .unwrap_or(0);
+        let registered_at = stream_map.iter().map(|&s| stable.get(s)).min().unwrap_or(0);
         let windows = query
             .streams
             .iter()
@@ -632,20 +684,31 @@ impl WukongS {
         plan
     }
 
-    fn run(&self, query: &Query, plan: &Plan, ctx: &ExecContext, home: NodeId) -> (ResultSet, f64) {
+    fn run_traced(
+        &self,
+        query: &Query,
+        plan: &Plan,
+        ctx: &ExecContext,
+        home: NodeId,
+        timer: &mut TaskTimer,
+        trace: &mut StageTrace,
+    ) -> ResultSet {
         let lit = StringLiteralResolver(self.strings());
-        let mut timer = TaskTimer::start();
         let forkjoin = match self.cfg.exec_mode {
             ExecMode::InPlace => false,
             ExecMode::ForkJoin => self.cluster.nodes() > 1,
             ExecMode::Auto => {
                 self.cluster.nodes() > 1
                     && (plan.has_index_scan()
-                        || plan.steps.first().map(|s| s.estimate > 10_000).unwrap_or(false))
+                        || plan
+                            .steps
+                            .first()
+                            .map(|s| s.estimate > 10_000)
+                            .unwrap_or(false))
             }
         };
-        let results = if forkjoin {
-            execute_forkjoin(
+        if forkjoin {
+            execute_forkjoin_traced(
                 query,
                 plan,
                 ctx,
@@ -653,14 +716,41 @@ impl WukongS {
                 home,
                 self.cfg.cores_per_query,
                 &lit,
-                &mut timer,
+                timer,
+                trace,
             )
         } else {
             let access = NodeAccess::new(&self.cluster, home);
-            wukong_query::execute(query, plan, ctx, &access, &lit, &mut timer)
-        };
-        let ms = timer.total_ms();
-        (results, ms)
+            wukong_query::execute_traced(query, plan, ctx, &access, &lit, timer, trace)
+        }
+    }
+
+    /// Executes a registered query over `instances`, measuring window
+    /// extraction (context + plan) inside the end-to-end timer and
+    /// recording the staged trace under `class` in the obs registry.
+    fn execute_instances(
+        &self,
+        r: &Registered,
+        class: &str,
+        instances: &[(usize, Timestamp, Timestamp)],
+    ) -> (ResultSet, f64, StageTrace) {
+        let mut timer = TaskTimer::start();
+        let mut trace = StageTrace::new();
+        let t0 = timer.total_ns();
+        let ctx = self.context_for(instances);
+        let plan = self.plan_for(r, &ctx);
+        trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
+        let results = self.run_traced(&r.query, &plan, &ctx, r.home, &mut timer, &mut trace);
+        let total_ns = timer.total_ns();
+        self.cluster.obs().record_query(class, &trace, total_ns);
+        (results, total_ns as f64 / 1e6, trace)
+    }
+
+    fn query_class(r: &Registered, id: ContinuousId) -> String {
+        r.query
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("query-{id}"))
     }
 
     /// Fires every continuous query whose next windows are covered by the
@@ -684,9 +774,8 @@ impl WukongS {
                     }
                     w.fire()
                 };
-                let ctx = self.context_for(&instances);
-                let plan = self.plan_for(r, &ctx);
-                let (results, latency_ms) = self.run(&r.query, &plan, &ctx, r.home);
+                let class = Self::query_class(r, id);
+                let (results, latency_ms, stages) = self.execute_instances(r, &class, &instances);
                 let window_end = instances.first().map(|i| i.2).unwrap_or(0);
                 // CONSTRUCT firings feed their derived stream with
                 // IStream semantics: only rows new relative to the
@@ -724,6 +813,7 @@ impl WukongS {
                     window_end,
                     results,
                     latency_ms,
+                    stages,
                 });
             }
         }
@@ -762,9 +852,9 @@ impl WukongS {
                 (w.stream, hi.saturating_sub(w.range_ms) + 1, hi)
             })
             .collect();
-        let ctx = self.context_for(&instances);
-        let plan = self.plan_for(&r, &ctx);
-        self.run(&r.query, &plan, &ctx, r.home)
+        let class = Self::query_class(&r, id);
+        let (results, ms, _) = self.execute_instances(&r, &class, &instances);
+        (results, ms)
     }
 
     /// Runs a one-shot query immediately over the stable snapshot.
@@ -813,9 +903,17 @@ impl WukongS {
         };
         let ctx = ExecContext { sn, windows };
         let home = self.home_for(&query);
+        let mut timer = TaskTimer::start();
+        let mut trace = StageTrace::new();
+        let t0 = timer.total_ns();
         let access = NodeAccess::new(&self.cluster, home);
         let plan = plan_query(&query, &access, &ctx);
-        Ok(self.run(&query, &plan, &ctx, home))
+        trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
+        let results = self.run_traced(&query, &plan, &ctx, home, &mut timer, &mut trace);
+        let total_ns = timer.total_ns();
+        let class = query.name.clone().unwrap_or_else(|| "one-shot".to_string());
+        self.cluster.obs().record_query(&class, &trace, total_ns);
+        Ok((results, total_ns as f64 / 1e6))
     }
 
     /// The stable snapshot number (what one-shot queries read).
@@ -1095,7 +1193,9 @@ mod tests {
         engine.ingest(po, t.triple, t.timestamp);
         engine.advance_time(200);
         let firings = engine.fire_ready();
-        assert!(firings.iter().any(|f| f.query == cid && !f.results.is_empty()));
+        assert!(firings
+            .iter()
+            .any(|f| f.query == cid && !f.results.is_empty()));
 
         // The derived tuple becomes visible after its batch stabilises.
         engine.advance_time(400);
@@ -1150,7 +1250,9 @@ mod tests {
         engine.ingest(po, t.triple, t.timestamp);
         engine.advance_time(2_000);
         let firings = engine.fire_ready();
-        assert!(firings.iter().any(|f| f.query == id2 && !f.results.is_empty()));
+        assert!(firings
+            .iter()
+            .any(|f| f.query == id2 && !f.results.is_empty()));
     }
 
     #[test]
@@ -1160,8 +1262,7 @@ mod tests {
         let (engine, po) = engine_with_stream();
         let ss = engine.strings().clone();
         for (name, ts) in [("T-1", 50u64), ("T-2", 950)] {
-            let t = ntriples::parse_tuple(&ss, &format!("Logan po {name} {ts}"), 1)
-                .expect("tuple");
+            let t = ntriples::parse_tuple(&ss, &format!("Logan po {name} {ts}"), 1).expect("tuple");
             engine.ingest(po, t.triple, t.timestamp);
         }
         engine.advance_time(1_000);

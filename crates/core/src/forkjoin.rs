@@ -13,6 +13,7 @@
 use crate::access::NodeAccess;
 use crate::cluster::Cluster;
 use wukong_net::{NodeId, TaskTimer};
+use wukong_obs::{Stage, StageTrace};
 use wukong_query::ast::Term;
 use wukong_query::bindings::{BindingTable, UNBOUND};
 use wukong_query::exec::{ExecContext, GraphAccess, LiteralResolver};
@@ -191,16 +192,45 @@ pub fn execute_forkjoin(
     lit: &impl LiteralResolver,
     timer: &mut TaskTimer,
 ) -> ResultSet {
+    let mut trace = StageTrace::new();
+    execute_forkjoin_traced(
+        query, plan, ctx, cluster, home, cores, lit, timer, &mut trace,
+    )
+}
+
+/// [`execute_forkjoin`] with staged latency attribution. The whole
+/// matching phase lands in [`Stage::PatternMatch`]; within it, the
+/// partitioned step loop is additionally attributed to
+/// [`Stage::ForkJoinFanout`] and the home-node UNION / NOT EXISTS /
+/// OPTIONAL joining to [`Stage::ForkJoinMerge`] (both overlap
+/// `PatternMatch` — attribution, not additional latency). Projection
+/// lands in [`Stage::ResultEmit`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_forkjoin_traced(
+    query: &Query,
+    plan: &Plan,
+    ctx: &ExecContext,
+    cluster: &Cluster,
+    home: NodeId,
+    cores: usize,
+    lit: &impl LiteralResolver,
+    timer: &mut TaskTimer,
+    trace: &mut StageTrace,
+) -> ResultSet {
     let mut table = BindingTable::seed(query.var_count as usize);
     let mut applied = vec![false; query.filters.len()];
+    let t0 = timer.total_ns();
+    let mut fanout_ns = 0u64;
 
     for step in &plan.steps {
+        let fork_start = timer.total_ns();
         let (input, anchored) = if step.mode == StepMode::IndexScan {
             expand_index_scan(step, &table, ctx, cluster, home, timer)
         } else {
             (table, *step)
         };
         table = partitioned_step(&anchored, &input, ctx, cluster, home, cores, timer);
+        fanout_ns += timer.total_ns().saturating_sub(fork_start);
         apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
         if table.is_empty() {
             break;
@@ -210,11 +240,18 @@ pub fn execute_forkjoin(
     // UNION and OPTIONAL blocks run in-place on the home node (they
     // expand rows branch by branch; remote reads are charged through the
     // access layer).
+    let merge_start = timer.total_ns();
     let access = NodeAccess::new(cluster, home);
     let table = wukong_query::executor::apply_union(query, table, ctx, &access, timer);
     let table = wukong_query::executor::apply_not_exists(query, table, ctx, &access, timer);
     let table = wukong_query::executor::apply_optional(query, table, ctx, &access, timer);
-    finalize(query, table, &applied, lit)
+    let matched = timer.total_ns();
+    trace.add(Stage::PatternMatch, matched.saturating_sub(t0));
+    trace.add(Stage::ForkJoinFanout, fanout_ns);
+    trace.add(Stage::ForkJoinMerge, matched.saturating_sub(merge_start));
+    let out = finalize(query, table, &applied, lit);
+    trace.add(Stage::ResultEmit, timer.total_ns().saturating_sub(matched));
+    out
 }
 
 #[cfg(test)]
@@ -254,8 +291,16 @@ mod tests {
         let inplace = wukong_query::execute(&q, &plan, &ctx, &access, &NoLiterals, &mut t1);
 
         let mut t2 = TaskTimer::start();
-        let forkjoin =
-            execute_forkjoin(&q, &plan, &ctx, &cluster, NodeId(0), 1, &NoLiterals, &mut t2);
+        let forkjoin = execute_forkjoin(
+            &q,
+            &plan,
+            &ctx,
+            &cluster,
+            NodeId(0),
+            1,
+            &NoLiterals,
+            &mut t2,
+        );
 
         assert_eq!(inplace.rows.len(), 64);
         let mut a = inplace.rows.clone();
@@ -277,7 +322,16 @@ mod tests {
 
         let before = cluster.fabric().metrics();
         let mut timer = TaskTimer::start();
-        let rs = execute_forkjoin(&q, &plan, &ctx, &cluster, NodeId(0), 1, &NoLiterals, &mut timer);
+        let rs = execute_forkjoin(
+            &q,
+            &plan,
+            &ctx,
+            &cluster,
+            NodeId(0),
+            1,
+            &NoLiterals,
+            &mut timer,
+        );
         let delta = before.delta(&cluster.fabric().metrics());
         assert_eq!(rs.rows.len(), 64);
         assert!(delta.messages > 0, "fork-join must message remote nodes");

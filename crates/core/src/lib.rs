@@ -62,6 +62,7 @@ pub mod forkjoin;
 pub mod metrics;
 
 pub use client::{Client, Prepared, ProxyPool, Submitted};
+pub use cluster::ClusterHandle;
 pub use config::{EngineConfig, ExecMode};
 pub use engine::{ContinuousId, DeploymentStats, Firing, WukongS};
 pub use metrics::LatencyRecorder;

@@ -66,7 +66,13 @@ impl Fabric {
     /// a task running on `from`. Local accesses are free.
     ///
     /// Returns the nanoseconds charged.
-    pub fn charge_read(&self, from: NodeId, to: NodeId, bytes: usize, timer: &mut TaskTimer) -> u64 {
+    pub fn charge_read(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        timer: &mut TaskTimer,
+    ) -> u64 {
         if from == to {
             return 0;
         }

@@ -8,10 +8,8 @@
 //! in ≈ 2 µs, a two-sided RPC in ≈ 5 µs, while a kernel TCP round trip on
 //! 10 GbE costs ≈ 30 µs.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-operation network latency model, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkProfile {
     /// Base latency of a one-sided READ of a small payload.
     pub one_sided_read_ns: u64,

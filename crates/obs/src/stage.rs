@@ -1,0 +1,193 @@
+//! The stage taxonomy for traced work.
+//!
+//! Two families of stages exist, matching the two latency-critical paths
+//! of the engine (§3/§4 of the paper):
+//!
+//! * **Query stages** cover one continuous-query firing end to end.
+//!   `WindowExtract` (resolving window instances into a query context
+//!   and picking a plan), `PatternMatch` (the executor's step loop,
+//!   union, NOT-EXISTS, OPTIONAL), and `ResultEmit` (projection /
+//!   construction of the result set) partition the firing — their sum
+//!   accounts for the end-to-end latency. `ForkJoinFanout` and
+//!   `ForkJoinMerge` are *attribution-only* sub-spans inside
+//!   `PatternMatch` (how much of the matching time was spent fanning
+//!   work out to remote partitions vs. merging it back); they overlap
+//!   `PatternMatch` and are excluded from the sum.
+//! * **Batch stages** cover one ingest batch: `Adaptor` (windowing /
+//!   sealing in the stream adaptor), `Dispatch` (sharding the batch
+//!   across nodes), `Injection` (writing tuples into per-node transient
+//!   stores), `StreamIndex` (appending to the stream index), and `Gc`
+//!   (expiring dead batches).
+
+/// One stage of a traced execution. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    // Query stages (one continuous-query firing).
+    WindowExtract,
+    PatternMatch,
+    ForkJoinFanout,
+    ForkJoinMerge,
+    ResultEmit,
+    // Batch stages (one ingest batch).
+    Adaptor,
+    Dispatch,
+    Injection,
+    StreamIndex,
+    Gc,
+}
+
+impl Stage {
+    /// Every stage, in display order.
+    pub const ALL: [Stage; 10] = [
+        Stage::WindowExtract,
+        Stage::PatternMatch,
+        Stage::ForkJoinFanout,
+        Stage::ForkJoinMerge,
+        Stage::ResultEmit,
+        Stage::Adaptor,
+        Stage::Dispatch,
+        Stage::Injection,
+        Stage::StreamIndex,
+        Stage::Gc,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::WindowExtract => "window_extract",
+            Stage::PatternMatch => "pattern_match",
+            Stage::ForkJoinFanout => "forkjoin_fanout",
+            Stage::ForkJoinMerge => "forkjoin_merge",
+            Stage::ResultEmit => "result_emit",
+            Stage::Adaptor => "adaptor",
+            Stage::Dispatch => "dispatch",
+            Stage::Injection => "injection",
+            Stage::StreamIndex => "stream_index",
+            Stage::Gc => "gc",
+        }
+    }
+
+    /// Whether this stage belongs to the continuous-query firing path.
+    pub fn is_query_stage(self) -> bool {
+        matches!(
+            self,
+            Stage::WindowExtract
+                | Stage::PatternMatch
+                | Stage::ForkJoinFanout
+                | Stage::ForkJoinMerge
+                | Stage::ResultEmit
+        )
+    }
+
+    /// Whether this stage belongs to the batch-ingest path.
+    pub fn is_batch_stage(self) -> bool {
+        !self.is_query_stage()
+    }
+
+    /// Whether the stage is one of the disjoint spans whose sum accounts
+    /// for a firing's end-to-end latency (fork-join sub-spans overlap
+    /// `PatternMatch`, so they are excluded).
+    pub fn counts_toward_query_total(self) -> bool {
+        matches!(
+            self,
+            Stage::WindowExtract | Stage::PatternMatch | Stage::ResultEmit
+        )
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-execution stage accumulator: a small inline vector of
+/// `(stage, nanoseconds)` entries, cheap enough to thread through hot
+/// paths. Durations for the same stage accumulate.
+#[derive(Debug, Default, Clone)]
+pub struct StageTrace {
+    spans: Vec<(Stage, u64)>,
+}
+
+impl StageTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `ns` to `stage`'s span.
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        if let Some(entry) = self.spans.iter_mut().find(|(s, _)| *s == stage) {
+            entry.1 += ns;
+        } else {
+            self.spans.push((stage, ns));
+        }
+    }
+
+    /// Nanoseconds attributed to `stage` so far.
+    pub fn get(&self, stage: Stage) -> u64 {
+        self.spans
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map_or(0, |(_, ns)| *ns)
+    }
+
+    /// All recorded `(stage, ns)` spans in insertion order.
+    pub fn spans(&self) -> &[(Stage, u64)] {
+        &self.spans
+    }
+
+    /// Sum of the disjoint query spans (see
+    /// [`Stage::counts_toward_query_total`]); should account for the
+    /// firing's end-to-end latency.
+    pub fn query_total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|(s, _)| s.counts_toward_query_total())
+            .map(|(_, ns)| ns)
+            .sum()
+    }
+
+    /// Folds another trace into this one.
+    pub fn merge(&mut self, other: &StageTrace) {
+        for &(stage, ns) in other.spans() {
+            self.add(stage, ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: std::collections::HashSet<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Stage::ALL.len());
+        assert_eq!(Stage::WindowExtract.name(), "window_extract");
+    }
+
+    #[test]
+    fn query_and_batch_partition_the_taxonomy() {
+        for s in Stage::ALL {
+            assert_ne!(s.is_query_stage(), s.is_batch_stage());
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_and_sums() {
+        let mut t = StageTrace::new();
+        t.add(Stage::PatternMatch, 100);
+        t.add(Stage::PatternMatch, 50);
+        t.add(Stage::ForkJoinFanout, 40);
+        t.add(Stage::WindowExtract, 10);
+        t.add(Stage::ResultEmit, 5);
+        assert_eq!(t.get(Stage::PatternMatch), 150);
+        // Fork-join sub-spans overlap PatternMatch: excluded from total.
+        assert_eq!(t.query_total_ns(), 165);
+        let mut u = StageTrace::new();
+        u.merge(&t);
+        u.merge(&t);
+        assert_eq!(u.get(Stage::PatternMatch), 300);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the fixed-bucket latency histogram.
+
+use proptest::prelude::*;
+use wukong_obs::histogram::{bucket_index, bucket_upper_bound, BUCKETS};
+use wukong_obs::LatencyHistogram;
+
+proptest! {
+    /// Recording any `u64` never panics, lands in a valid bucket whose
+    /// bounds bracket the value, and keeps count/sum coherent.
+    #[test]
+    fn record_any_u64_never_panics(values in proptest::collection::vec(0..u64::MAX, 1..200)) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+            let idx = bucket_index(v);
+            prop_assert!(idx < BUCKETS);
+            // The bucket's inclusive upper bound is at or above the value
+            // and the previous bucket's bound (if any) is below it.
+            prop_assert!(bucket_upper_bound(idx) >= v);
+            if idx > 0 {
+                prop_assert!(bucket_upper_bound(idx - 1) < v);
+            }
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let expect: u64 = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(h.sum(), expect);
+    }
+
+    /// `percentile` is monotone in `p`: a higher rank can never report a
+    /// lower latency.
+    #[test]
+    fn percentile_monotone_in_p(values in proptest::collection::vec(0..u64::MAX, 1..200)) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let q = h.percentile(p).expect("non-empty");
+            prop_assert!(q >= last, "percentile({}) = {} < {}", p, q, last);
+            last = q;
+        }
+    }
+
+    /// `merge` preserves per-bucket counts exactly: the merged histogram
+    /// holds the bucket-wise sum of its inputs.
+    #[test]
+    fn merge_preserves_bucket_counts(
+        a in proptest::collection::vec(0..u64::MAX, 0..100),
+        b in proptest::collection::vec(0..u64::MAX, 0..100),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let before_a = ha.snapshot();
+        let before_b = hb.snapshot();
+        ha.merge(&hb);
+        let merged = ha.snapshot();
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.buckets[i], before_a.buckets[i] + before_b.buckets[i]);
+        }
+        prop_assert_eq!(merged.count, before_a.count + before_b.count);
+    }
+
+    /// A snapshot delta over a live histogram is non-negative in every
+    /// bucket and counts exactly the samples recorded in between.
+    #[test]
+    fn delta_non_negative_per_bucket(
+        first in proptest::collection::vec(0..u64::MAX, 0..100),
+        second in proptest::collection::vec(0..u64::MAX, 0..100),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let s1 = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let s2 = h.snapshot();
+        let d = s1.delta(&s2);
+        let mut total = 0u64;
+        for &c in d.buckets.iter() {
+            total += c;
+        }
+        prop_assert_eq!(total, second.len() as u64);
+        prop_assert_eq!(d.count, second.len() as u64);
+        // Reversed order must saturate to zero, not wrap: every bucket of
+        // `s2` is >= the matching bucket of `s1`.
+        let rev = s2.delta(&s1);
+        for &c in rev.buckets.iter() {
+            prop_assert_eq!(c, 0);
+        }
+        prop_assert_eq!(rev.count, 0);
+    }
+}

@@ -207,14 +207,16 @@ impl Query {
 
     /// Whether any pattern reads the stored graph.
     pub fn touches_store(&self) -> bool {
-        self.patterns
-            .iter()
-            .any(|p| p.graph == GraphName::Stored)
+        self.patterns.iter().any(|p| p.graph == GraphName::Stored)
     }
 
     /// The widest window range over all streams (drives GC horizons).
     pub fn max_range_ms(&self) -> u64 {
-        self.streams.iter().map(|(_, w)| w.range_ms).max().unwrap_or(0)
+        self.streams
+            .iter()
+            .map(|(_, w)| w.range_ms)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -10,11 +10,12 @@
 //! fork-join mode, the baselines' bolt pipelines) can interleave their own
 //! partitioning and communication between steps.
 
-use crate::ast::{Aggregate, AggFunc, Filter, Query, Term};
+use crate::ast::{AggFunc, Aggregate, Filter, Query, Term};
 use crate::bindings::{BindingTable, UNBOUND};
 use crate::exec::{ExecContext, GraphAccess, LiteralResolver};
 use crate::plan::{Plan, Step, StepMode};
 use wukong_net::TaskTimer;
+use wukong_obs::{Stage, StageTrace};
 use wukong_rdf::{Dir, Key, Vid};
 
 /// The outcome of one query execution.
@@ -106,7 +107,13 @@ pub fn execute_step(
             // the persistent store but only per-slice on transient
             // windows, so deduplicate before expanding.
             let mut subjects: Vec<Vid> = Vec::new();
-            access.neighbors(Key::index(p.p, Dir::Out), p.graph, ctx, timer, &mut subjects);
+            access.neighbors(
+                Key::index(p.p, Dir::Out),
+                p.graph,
+                ctx,
+                timer,
+                &mut subjects,
+            );
             subjects.sort_unstable();
             subjects.dedup();
             let s_var = p.s.var();
@@ -238,11 +245,7 @@ pub fn finalize(
         table.retain(|row| {
             unappl.iter().all(|f| {
                 let v = row[f.var as usize];
-                v != UNBOUND
-                    && lit
-                        .numeric(v)
-                        .map(|x| f.accepts(x))
-                        .unwrap_or(false)
+                v != UNBOUND && lit.numeric(v).map(|x| f.accepts(x)).unwrap_or(false)
             })
         });
     }
@@ -487,8 +490,27 @@ pub fn execute(
     lit: &impl LiteralResolver,
     timer: &mut TaskTimer,
 ) -> ResultSet {
+    let mut trace = StageTrace::new();
+    execute_traced(query, plan, ctx, access, lit, timer, &mut trace)
+}
+
+/// [`execute`] with staged latency attribution: the matching phase (step
+/// loop, UNION, NOT EXISTS, OPTIONAL) lands in [`Stage::PatternMatch`]
+/// and projection/aggregation in [`Stage::ResultEmit`]. Spans are deltas
+/// of the timer's *total* (real + charged virtual) time, so they add up
+/// to the latency the engine reports.
+pub fn execute_traced(
+    query: &Query,
+    plan: &Plan,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    lit: &impl LiteralResolver,
+    timer: &mut TaskTimer,
+    trace: &mut StageTrace,
+) -> ResultSet {
     let mut table = BindingTable::seed(query.var_count as usize);
     let mut applied = vec![false; query.filters.len()];
+    let t0 = timer.total_ns();
 
     for step in &plan.steps {
         table = execute_step(step, &table, ctx, access, timer);
@@ -502,7 +524,11 @@ pub fn execute(
     apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
     table = apply_not_exists(query, table, ctx, access, timer);
     table = apply_optional(query, table, ctx, access, timer);
-    finalize(query, table, &applied, lit)
+    let matched = timer.total_ns();
+    trace.add(Stage::PatternMatch, matched.saturating_sub(t0));
+    let out = finalize(query, table, &applied, lit);
+    trace.add(Stage::ResultEmit, timer.total_ns().saturating_sub(matched));
+    out
 }
 
 #[cfg(test)]
@@ -718,7 +744,14 @@ mod tests {
         let ctx = ExecContext::stored(SnapshotId::BASE);
         let plan = plan_query(&q, &access, &ctx);
         let mut timer = TaskTimer::start();
-        let rs = execute(&q, &plan, &ctx, &access, &StringLiteralResolver(&ss), &mut timer);
+        let rs = execute(
+            &q,
+            &plan,
+            &ctx,
+            &access,
+            &StringLiteralResolver(&ss),
+            &mut timer,
+        );
         let vals: Vec<String> = rs
             .rows
             .iter()
@@ -733,14 +766,28 @@ mod tests {
         )
         .unwrap();
         let plan = plan_query(&q, &access, &ctx);
-        let rs = execute(&q, &plan, &ctx, &access, &StringLiteralResolver(&ss), &mut timer);
+        let rs = execute(
+            &q,
+            &plan,
+            &ctx,
+            &access,
+            &StringLiteralResolver(&ss),
+            &mut timer,
+        );
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(ss.entity_name(rs.rows[0][1]).unwrap(), "100");
 
         // Lexical ordering of non-numeric names.
         let q = parse_query(&ss, "SELECT ?S WHERE { ?S val ?V } ORDER BY ?S").unwrap();
         let plan = plan_query(&q, &access, &ctx);
-        let rs = execute(&q, &plan, &ctx, &access, &StringLiteralResolver(&ss), &mut timer);
+        let rs = execute(
+            &q,
+            &plan,
+            &ctx,
+            &access,
+            &StringLiteralResolver(&ss),
+            &mut timer,
+        );
         let names: Vec<String> = rs
             .rows
             .iter()
@@ -781,10 +828,7 @@ mod tests {
             "SELECT ?X ?W WHERE { Logan po ?X OPTIONAL { ?X nosuchpred ?W } }",
         );
         assert_eq!(rs.rows.len(), 2);
-        assert!(rs
-            .rows
-            .iter()
-            .all(|r| r[1] == crate::bindings::UNBOUND));
+        assert!(rs.rows.iter().all(|r| r[1] == crate::bindings::UNBOUND));
     }
 
     #[test]

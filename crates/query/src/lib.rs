@@ -42,7 +42,10 @@ pub use ast::{Aggregate, Filter, GraphName, Query, QueryKind, Term, TriplePatter
 pub use bindings::BindingTable;
 pub use error::QueryError;
 pub use exec::{GraphAccess, LiteralResolver, PatternSource};
-pub use executor::{apply_not_exists, apply_optional, apply_ready_filters, apply_union, execute, execute_step, finalize, ResultSet};
+pub use executor::{
+    apply_not_exists, apply_optional, apply_ready_filters, apply_union, execute, execute_step,
+    execute_traced, finalize, ResultSet,
+};
 pub use parser::parse_query;
 pub use plan::{Plan, Step};
 pub use planner::{plan_patterns, plan_query};

@@ -5,8 +5,7 @@
 //! `FILTER` and aggregates for the CityBench workload.
 
 use crate::ast::{
-    AggFunc, Aggregate, CmpOp, Filter, GraphName, Query, QueryKind, Term, TriplePattern,
-    WindowSpec,
+    AggFunc, Aggregate, CmpOp, Filter, GraphName, Query, QueryKind, Term, TriplePattern, WindowSpec,
 };
 use crate::error::QueryError;
 use crate::lexer::{lex, Token};
@@ -335,8 +334,7 @@ pub fn parse_query(ss: &StringServer, text: &str) -> Result<Query, QueryError> {
                     let pid = match p.next() {
                         Some(Token::Ident(pr)) => {
                             let name = p.expand(&pr);
-                            p.ss
-                                .intern_predicate(&name)
+                            p.ss.intern_predicate(&name)
                                 .map_err(|e| QueryError::Unresolved(e.to_string()))?
                         }
                         _ => return Err(p.err("predicate in CONSTRUCT template")),
@@ -373,25 +371,25 @@ pub fn parse_query(ss: &StringServer, text: &str) -> Result<Query, QueryError> {
     }
     if construct.is_empty() {
         loop {
-        match p.peek().cloned() {
-            Some(Token::Var(v)) => {
-                p.next();
-                let id = p.var_id(&v);
-                select.push(id);
+            match p.peek().cloned() {
+                Some(Token::Var(v)) => {
+                    p.next();
+                    let id = p.var_id(&v);
+                    select.push(id);
+                }
+                Some(Token::Ident(f)) if Parser::agg_func(&f).is_some() => {
+                    p.next();
+                    let func = Parser::agg_func(&f).expect("checked above");
+                    p.expect_tok(&Token::LParen, "(")?;
+                    let var = match p.next() {
+                        Some(Token::Var(v)) => p.var_id(&v),
+                        _ => return Err(p.err("aggregated variable")),
+                    };
+                    p.expect_tok(&Token::RParen, ")")?;
+                    aggregates.push(Aggregate { func, var });
+                }
+                _ => break,
             }
-            Some(Token::Ident(f)) if Parser::agg_func(&f).is_some() => {
-                p.next();
-                let func = Parser::agg_func(&f).expect("checked above");
-                p.expect_tok(&Token::LParen, "(")?;
-                let var = match p.next() {
-                    Some(Token::Var(v)) => p.var_id(&v),
-                    _ => return Err(p.err("aggregated variable")),
-                };
-                p.expect_tok(&Token::RParen, ")")?;
-                aggregates.push(Aggregate { func, var });
-            }
-            _ => break,
-        }
         }
     }
     if select.is_empty() && aggregates.is_empty() {
@@ -520,8 +518,7 @@ pub fn parse_query(ss: &StringServer, text: &str) -> Result<Query, QueryError> {
                 let pid = match p.next() {
                     Some(Token::Ident(pr)) => {
                         let name = p.expand(&pr);
-                        p.ss
-                            .intern_predicate(&name)
+                        p.ss.intern_predicate(&name)
                             .map_err(|e| QueryError::Unresolved(e.to_string()))?
                     }
                     Some(Token::Var(_)) => {
@@ -713,7 +710,13 @@ mod tests {
         assert_eq!(q.kind, QueryKind::Continuous);
         assert_eq!(q.name.as_deref(), Some("QC"));
         assert_eq!(q.streams.len(), 2);
-        assert_eq!(q.streams[0].1, WindowSpec { range_ms: 10_000, step_ms: 1_000 });
+        assert_eq!(
+            q.streams[0].1,
+            WindowSpec {
+                range_ms: 10_000,
+                step_ms: 1_000
+            }
+        );
         assert_eq!(q.patterns[0].graph, GraphName::Stream(0));
         assert_eq!(q.patterns[1].graph, GraphName::Stored);
         assert_eq!(q.patterns[2].graph, GraphName::Stream(1));
@@ -799,23 +802,19 @@ mod tests {
             q.patterns[0].s,
             Term::Const(ss.entity_id("http://sib/Logan").unwrap())
         );
-        assert_eq!(
-            q.patterns[0].p,
-            ss.predicate_id("http://sib/po").unwrap()
-        );
+        assert_eq!(q.patterns[0].p, ss.predicate_id("http://sib/po").unwrap());
         // Undeclared prefixes pass through verbatim.
         let q = parse_query(&ss, "SELECT ?X WHERE { foaf:Erik po ?X }").unwrap();
-        assert_eq!(q.patterns[0].s, Term::Const(ss.entity_id("foaf:Erik").unwrap()));
+        assert_eq!(
+            q.patterns[0].s,
+            Term::Const(ss.entity_id("foaf:Erik").unwrap())
+        );
     }
 
     #[test]
     fn distinct_and_limit_parse() {
         let ss = ss();
-        let q = parse_query(
-            &ss,
-            "SELECT DISTINCT ?X WHERE { ?X fo ?Y } LIMIT 10",
-        )
-        .unwrap();
+        let q = parse_query(&ss, "SELECT DISTINCT ?X WHERE { ?X fo ?Y } LIMIT 10").unwrap();
         assert!(q.distinct);
         assert_eq!(q.limit, Some(10));
         let q = parse_query(&ss, "SELECT ?X WHERE { ?X fo ?Y }").unwrap();
@@ -858,11 +857,9 @@ mod tests {
         .unwrap();
         assert_eq!(q.not_exists.len(), 1);
         assert_eq!(q.not_exists[0].len(), 1);
-        assert!(parse_query(
-            &ss,
-            "SELECT ?X WHERE { Logan po ?X FILTER NOT EXISTS { } }",
-        )
-        .is_err());
+        assert!(
+            parse_query(&ss, "SELECT ?X WHERE { Logan po ?X FILTER NOT EXISTS { } }",).is_err()
+        );
     }
 
     #[test]
@@ -893,19 +890,11 @@ mod tests {
     #[test]
     fn group_by_parses_and_validates() {
         let ss = ss();
-        let q = parse_query(
-            &ss,
-            "SELECT ?S AVG(?V) WHERE { ?S density ?V } GROUP BY ?S",
-        )
-        .unwrap();
+        let q = parse_query(&ss, "SELECT ?S AVG(?V) WHERE { ?S density ?V } GROUP BY ?S").unwrap();
         assert_eq!(q.group_by.len(), 1);
         assert_eq!(q.select, q.group_by);
         // Projecting an ungrouped variable is rejected.
-        assert!(parse_query(
-            &ss,
-            "SELECT ?V WHERE { ?S density ?V } GROUP BY ?S",
-        )
-        .is_err());
+        assert!(parse_query(&ss, "SELECT ?V WHERE { ?S density ?V } GROUP BY ?S",).is_err());
         // GROUP BY with no variable is rejected.
         assert!(parse_query(&ss, "SELECT ?S WHERE { ?S density ?V } GROUP BY").is_err());
     }

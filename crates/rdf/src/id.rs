@@ -7,7 +7,6 @@
 //! predicate and 1 bit for the direction in a single 64-bit key.
 
 use crate::RdfError;
-use serde::{Deserialize, Serialize};
 
 /// Number of bits in a vertex ID.
 pub const VID_BITS: u32 = 46;
@@ -26,9 +25,7 @@ pub const MAX_PID: u64 = (1 << PID_BITS) - 1;
 pub const INDEX_VID: Vid = Vid(0);
 
 /// A 46-bit vertex identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Vid(pub u64);
 
 impl Vid {
@@ -48,9 +45,7 @@ impl Vid {
 }
 
 /// A 17-bit predicate (edge-label) identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Pid(pub u64);
 
 impl Pid {
@@ -67,7 +62,7 @@ impl Pid {
 /// Edge direction relative to the keyed vertex.
 ///
 /// The encoding follows Fig. 6 of the paper: `0` is `in`, `1` is `out`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dir {
     /// The keyed vertex is the *object* of the triple.
     In = 0,
@@ -91,7 +86,7 @@ impl Dir {
 /// vertex, then by predicate, then by direction — which keeps all keys of
 /// one vertex adjacent in an ordered map and lets the sharding layer route
 /// by vertex with a mask.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(u64);
 
 impl Key {

@@ -1,13 +1,12 @@
 //! ID-encoded RDF triples.
 
 use crate::id::{Dir, Key, Pid, Vid};
-use serde::{Deserialize, Serialize};
 
 /// An RDF triple after string → ID conversion.
 ///
 /// All query processing and storage in Wukong+S operates on ID-encoded
 /// triples; the original strings live only in the [`crate::StringServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Triple {
     /// Subject vertex.
     pub s: Vid,

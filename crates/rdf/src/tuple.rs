@@ -8,7 +8,6 @@
 //! that need it (§4.1).
 
 use crate::triple::Triple;
-use serde::{Deserialize, Serialize};
 
 /// A logical timestamp on a stream, in milliseconds of stream time.
 ///
@@ -18,9 +17,7 @@ use serde::{Deserialize, Serialize};
 pub type Timestamp = u64;
 
 /// Identifier of a registered stream (e.g. `Tweet_Stream`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StreamId(pub u16);
 
 /// Whether a tuple carries factual (timeless) or transient (timing) data.
@@ -28,7 +25,7 @@ pub struct StreamId(pub u16);
 /// The paper's example: tweets and likes are timeless (they become part of
 /// the knowledge base), GPS position updates are timing data (meaningless
 /// once the window has passed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TupleKind {
     /// Factual data, absorbed into the continuous persistent store.
     Timeless,
@@ -37,7 +34,7 @@ pub enum TupleKind {
 }
 
 /// One element of a stream: a triple, its timestamp, and its kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamTuple {
     /// The triple payload.
     pub triple: Triple,

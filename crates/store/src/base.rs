@@ -248,12 +248,18 @@ impl BaseStore {
         if first_out {
             let k = Key::index(t.p, Dir::Out);
             let (off, _) = self.append_edge(k, t.s, sn);
-            receipts.push(AppendReceipt { key: k, offset: off });
+            receipts.push(AppendReceipt {
+                key: k,
+                offset: off,
+            });
         }
         if first_in {
             let k = Key::index(t.p, Dir::In);
             let (off, _) = self.append_edge(k, t.o, sn);
-            receipts.push(AppendReceipt { key: k, offset: off });
+            receipts.push(AppendReceipt {
+                key: k,
+                offset: off,
+            });
         }
     }
 

@@ -35,7 +35,9 @@ impl PersistentShard {
     pub fn new(partitions: usize) -> Self {
         assert!(partitions > 0, "a shard needs at least one partition");
         PersistentShard {
-            parts: (0..partitions).map(|_| RwLock::new(BaseStore::new())).collect(),
+            parts: (0..partitions)
+                .map(|_| RwLock::new(BaseStore::new()))
+                .collect(),
             batch_lock: Mutex::new(()),
         }
     }
@@ -124,14 +126,20 @@ impl PersistentShard {
             let (off, _) = self.parts[self.part_of(k)]
                 .write()
                 .append_edge_merging(k, t.s, sn, merge_upto);
-            receipts.push(AppendReceipt { key: k, offset: off });
+            receipts.push(AppendReceipt {
+                key: k,
+                offset: off,
+            });
         }
         if first_in {
             let k = Key::index(t.p, Dir::In);
             let (off, _) = self.parts[self.part_of(k)]
                 .write()
                 .append_edge_merging(k, t.o, sn, merge_upto);
-            receipts.push(AppendReceipt { key: k, offset: off });
+            receipts.push(AppendReceipt {
+                key: k,
+                offset: off,
+            });
         }
     }
 
@@ -166,7 +174,9 @@ impl PersistentShard {
 
     /// Visits the neighbours of `key` visible at snapshot `sn`.
     pub fn for_each_neighbor(&self, key: Key, sn: SnapshotId, f: impl FnMut(Vid)) {
-        self.parts[self.part_of(key)].read().for_each_neighbor(key, sn, f)
+        self.parts[self.part_of(key)]
+            .read()
+            .for_each_neighbor(key, sn, f)
     }
 
     /// Length of `key`'s neighbour list at snapshot `sn`.
@@ -176,7 +186,9 @@ impl PersistentShard {
 
     /// Reads a fat-pointer range of `key`.
     pub fn read_range(&self, key: Key, start: u32, len: u32, out: &mut Vec<Vid>) {
-        self.parts[self.part_of(key)].read().read_range(key, start, len, out)
+        self.parts[self.part_of(key)]
+            .read()
+            .read_range(key, start, len, out)
     }
 
     /// Whether `(s, p, o)` is visible at snapshot `sn`.

@@ -9,15 +9,11 @@
 //! for inserting"), and older intervals are consolidated into the base
 //! value.
 
-use serde::{Deserialize, Serialize};
-
 /// A scalar snapshot number.
 ///
 /// Snapshot 0 is the initially loaded dataset; stream injection produces
 /// snapshots 1, 2, … as the coordinator publishes SN-VTS plans.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SnapshotId(pub u64);
 
 impl SnapshotId {
@@ -36,7 +32,7 @@ impl SnapshotId {
 /// has been reached on all nodes, so two retained snapshots suffice; the
 /// bound is configurable to reproduce the §6.7 memory experiment (2 vs 3
 /// snapshots, with vs without scalarization).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotBudget(pub usize);
 
 impl Default for SnapshotBudget {

@@ -21,7 +21,10 @@ pub struct StoreStats {
 
 impl StoreStats {
     /// Collects statistics visible at snapshot `sn` from `shards`.
-    pub fn collect<'a>(shards: impl IntoIterator<Item = &'a PersistentShard>, sn: SnapshotId) -> Self {
+    pub fn collect<'a>(
+        shards: impl IntoIterator<Item = &'a PersistentShard>,
+        sn: SnapshotId,
+    ) -> Self {
         let mut by_predicate: HashMap<Pid, (usize, usize)> = HashMap::new();
         for shard in shards {
             shard.for_each_key(|k, _| {

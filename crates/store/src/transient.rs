@@ -202,7 +202,9 @@ mod tests {
     }
 
     fn slice(ts: Timestamp, n: usize) -> TransientSlice {
-        let batch: Vec<_> = (0..n as u64).map(|i| timing(i + 1, 1, 100 + i, ts)).collect();
+        let batch: Vec<_> = (0..n as u64)
+            .map(|i| timing(i + 1, 1, 100 + i, ts))
+            .collect();
         TransientSlice::from_batch(ts, &batch)
     }
 
@@ -241,7 +243,9 @@ mod tests {
         assert_eq!(st.slice_count(), 1);
         assert_eq!(st.evicted_slices(), 2);
         // Remaining slice still queryable.
-        assert!(!st.neighbors_in(Key::new(Vid(1), Pid(1), wukong_rdf::Dir::Out), 0, 999).is_empty());
+        assert!(!st
+            .neighbors_in(Key::new(Vid(1), Pid(1), wukong_rdf::Dir::Out), 0, 999)
+            .is_empty());
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct Adaptor {
     current: Vec<StreamTuple>,
     current_end: Timestamp,
     discarded: usize,
+    /// Nanoseconds of adaptor work (windowing/sealing) accumulated since
+    /// the last [`Adaptor::take_work_ns`]; the engine drains this into
+    /// the per-stream `Adaptor` stage histogram.
+    work_ns: u64,
 }
 
 impl Adaptor {
@@ -87,6 +91,7 @@ impl Adaptor {
             current: Vec::new(),
             current_end: end,
             discarded: 0,
+            work_ns: 0,
         }
     }
 
@@ -101,6 +106,7 @@ impl Adaptor {
     /// Tuples must arrive in non-decreasing timestamp order (C-SPARQL's
     /// time model, §4.3); a late tuple is clamped into the current batch.
     pub fn push(&mut self, triple: Triple, ts: Timestamp) -> Vec<Batch> {
+        let t0 = std::time::Instant::now();
         let mut out = Vec::new();
         while ts > self.current_end {
             out.push(self.seal());
@@ -108,6 +114,7 @@ impl Adaptor {
         if let Some(rel) = &self.schema.relevant_predicates {
             if !rel.contains(&triple.p) {
                 self.discarded += 1;
+                self.work_ns += t0.elapsed().as_nanos() as u64;
                 return out;
             }
         }
@@ -118,20 +125,31 @@ impl Adaptor {
         };
         self.current.push(StreamTuple {
             triple,
-            timestamp: ts.max(self.current_end.saturating_sub(self.schema.batch_interval_ms)),
+            timestamp: ts.max(
+                self.current_end
+                    .saturating_sub(self.schema.batch_interval_ms),
+            ),
             kind,
         });
+        self.work_ns += t0.elapsed().as_nanos() as u64;
         out
     }
 
     /// Advances stream time to `ts`, sealing every batch that ends at or
     /// before it (heartbeat for idle streams).
     pub fn advance_to(&mut self, ts: Timestamp) -> Vec<Batch> {
+        let t0 = std::time::Instant::now();
         let mut out = Vec::new();
         while ts >= self.current_end {
             out.push(self.seal());
         }
+        self.work_ns += t0.elapsed().as_nanos() as u64;
         out
+    }
+
+    /// Drains the accumulated adaptor work time (nanoseconds).
+    pub fn take_work_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.work_ns)
     }
 
     /// Fast-forwards the adaptor's clock past `ts` *without* emitting

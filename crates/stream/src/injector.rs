@@ -15,7 +15,9 @@
 use crate::dispatcher::SubBatch;
 use std::time::Instant;
 use wukong_rdf::{StreamTuple, Timestamp};
-use wukong_store::{IndexBatch, PersistentShard, SnapshotId, StreamIndex, TransientSlice, TransientStore};
+use wukong_store::{
+    IndexBatch, PersistentShard, SnapshotId, StreamIndex, TransientSlice, TransientStore,
+};
 
 /// Per-stream stores of one node (transient ring + stream index).
 #[derive(Debug)]

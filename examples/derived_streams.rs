@@ -40,11 +40,7 @@ fn main() {
     }
     // The derived stream is a first-class stream: registered like any
     // other, with its own schema and batch cadence.
-    let influence = engine.register_stream(StreamSchema::timeless(
-        StreamId(0),
-        "Influence",
-        100,
-    ));
+    let influence = engine.register_stream(StreamSchema::timeless(StreamId(0), "Influence", 100));
 
     // Stage 1: derive influence edges from raw activity.
     engine
@@ -73,7 +69,10 @@ fn main() {
 
     // Drive ten seconds of social activity, firing the pipeline live.
     let timeline = gen.generate(0, 10_000);
-    println!("Streaming {} tuples through the pipeline…\n", timeline.len());
+    println!(
+        "Streaming {} tuples through the pipeline…\n",
+        timeline.len()
+    );
     let mut derived_firings = 0usize;
     for chunk in timeline.chunks(128) {
         for t in chunk {

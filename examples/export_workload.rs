@@ -34,8 +34,7 @@ fn main() -> std::io::Result<()> {
     let mut per_stream: Vec<String> = vec![String::new(); names.len()];
     for t in gen.generate(0, 2_000) {
         let line = ntriples::format_triple(&strings, &t.triple).expect("interned");
-        writeln!(per_stream[t.stream.0 as usize], "{line} {}", t.timestamp)
-            .expect("string write");
+        writeln!(per_stream[t.stream.0 as usize], "{line} {}", t.timestamp).expect("string write");
     }
     for (name, content) in names.iter().zip(&per_stream) {
         let file = format!("stream_{}.nt", name.replace('-', "_"));

@@ -71,14 +71,8 @@ fn main() {
     // 💥 The machine fails. Recover from initial data + checkpoints.
     let checkpoints = engine.checkpoints();
     drop(engine);
-    let recovered = WukongS::recover(
-        cfg,
-        stored.iter().copied(),
-        schemas,
-        &strings,
-        &checkpoints,
-    )
-    .expect("recovery succeeds");
+    let recovered = WukongS::recover(cfg, stored.iter().copied(), schemas, &strings, &checkpoints)
+        .expect("recovery succeeds");
     println!(
         "Recovered: {} continuous queries re-registered, stable SN {:?}.",
         recovered.continuous_count(),

@@ -34,8 +34,7 @@ fn main() {
 
     // Two streams: tweets (posts + GPS + hashtags) and likes. GPS
     // positions are timing data — they expire with the window.
-    let mut tweet_schema =
-        StreamSchema::timeless(wukong_rdf::StreamId(0), "Tweet_Stream", 1);
+    let mut tweet_schema = StreamSchema::timeless(wukong_rdf::StreamId(0), "Tweet_Stream", 1);
     tweet_schema
         .timing_predicates
         .insert(ss.intern_predicate("ga").expect("id space"));
@@ -130,7 +129,12 @@ fn names(engine: &WukongS, rows: &[Vec<wukong_rdf::Vid>]) -> Vec<Vec<String>> {
     rows.iter()
         .map(|row| {
             row.iter()
-                .map(|v| engine.strings().entity_name(*v).unwrap_or_else(|_| "?".into()))
+                .map(|v| {
+                    engine
+                        .strings()
+                        .entity_name(*v)
+                        .unwrap_or_else(|_| "?".into())
+                })
                 .collect()
         })
         .collect()

@@ -136,7 +136,11 @@ fn handle_command(
                 engine.ingest(t.stream, t.triple, t.timestamp);
             }
             engine.advance_time(*now);
-            println!("streamed {} tuples; stream time is now {} ms", tuples.len(), *now);
+            println!(
+                "streamed {} tuples; stream time is now {} ms",
+                tuples.len(),
+                *now
+            );
             Ok(true)
         }
         Some("\\fire") => {

@@ -55,8 +55,9 @@ fn main() {
     engine.advance_time(duration);
 
     // Fire everything that is ready and summarise per class.
-    let mut recorders: Vec<LatencyRecorder> =
-        (0..=lsbench::CONTINUOUS_CLASSES).map(|_| LatencyRecorder::new()).collect();
+    let mut recorders: Vec<LatencyRecorder> = (0..=lsbench::CONTINUOUS_CLASSES)
+        .map(|_| LatencyRecorder::new())
+        .collect();
     let mut results = [0usize; lsbench::CONTINUOUS_CLASSES + 1];
     for (class, id) in &ids {
         let _ = engine.execute_registered(*id); // plan warm-up
@@ -99,5 +100,8 @@ fn main() {
     let (rs, ms) = engine
         .one_shot("SELECT ?X ?T WHERE { ?X ht ?T }")
         .expect("one-shot");
-    println!("\nOne-shot hashtag audit: {} tagged posts ({ms:.3} ms).", rs.rows.len());
+    println!(
+        "\nOne-shot hashtag audit: {} tagged posts ({ms:.3} ms).",
+        rs.rows.len()
+    );
 }

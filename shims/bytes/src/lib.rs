@@ -1,0 +1,218 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the slice-of-the-API used by `crates/core/src/checkpoint.rs`
+//! and `crates/core/src/engine.rs`: `Bytes` (cheaply clonable immutable
+//! buffer), `BytesMut` (append-only builder), and the `Buf`/`BufMut`
+//! traits with big-endian integer accessors.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer (full-buffer view; the real
+/// crate's sub-slicing is not needed here).
+#[derive(Clone, Default, Debug, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(Arc::from(data))
+    }
+
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+/// Growable byte buffer used to build a [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read cursor over a byte source; integer reads are big-endian.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(raw)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Append sink; integer writes are big-endian.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u8(0xab);
+        b.put_u16(0x1234);
+        b.put_u32(0xdead_beef);
+        b.put_u64(0x0102_0304_0506_0708);
+        b.put_slice(b"xyz");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 1 + 2 + 4 + 8 + 3);
+
+        let mut buf: &[u8] = &frozen;
+        assert_eq!(buf.get_u8(), 0xab);
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u32(), 0xdead_beef);
+        assert_eq!(buf.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(buf.remaining(), 3);
+        assert_eq!(&buf[..3], b"xyz");
+        buf.advance(3);
+        assert!(!buf.has_remaining());
+    }
+}

@@ -1,0 +1,647 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this path crate
+//! supplies the subset of proptest the workspace's property tests use:
+//! the `proptest!` macro, `Strategy` with `prop_map`, range and tuple
+//! strategies, a small regex-subset string strategy, `collection::vec`,
+//! `option::of`, `prop_oneof!`, `Just`, the `prop_assert*` family,
+//! `prop_assume!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case reports its assert directly;
+//! - `prop_assume!` skips the current case instead of resampling, so
+//!   heavily-filtered properties see fewer effective cases;
+//! - generation is driven by a deterministic per-test SplitMix64 RNG
+//!   (override the seed with `PROPTEST_SEED`, the case count with
+//!   `PROPTEST_CASES`).
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Seed derived from the test name (stable across runs) unless
+    /// `PROPTEST_SEED` overrides it.
+    pub fn for_test(name: &str) -> Self {
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            return Self::from_seed(seed);
+        }
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo) as u64 + 1) as usize
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally-weighted boxed alternatives; built by
+/// `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+#[doc(hidden)]
+pub fn __box_strategy<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+// ---------------------------------------------------------------------------
+// Numeric range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i32, i64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty range strategy");
+        loop {
+            if let Some(c) = char::from_u32(lo + rng.below((hi - lo) as u64) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for bool {
+    type Value = bool;
+    fn generate(&self, _rng: &mut TestRng) -> bool {
+        *self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy (`&str` patterns)
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    Any,
+    Class(Vec<char>),
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Characters `.` can produce: printable ASCII plus a few awkward ones
+/// so parser-totality properties see multi-byte and control input.
+const ANY_EXTRA: &[char] = &['\n', '\t', '\u{e9}', '\u{3bb}', '\u{4e2d}', '"', '\\'];
+
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .expect("unterminated quantifier");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse().expect("bad quantifier"),
+                            b.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut s = String::new();
+        for q in parse_pattern(self) {
+            let n = rng.usize_in(q.min, q.max);
+            for _ in 0..n {
+                match &q.atom {
+                    Atom::Any => {
+                        // Mostly printable ASCII, occasionally awkward.
+                        if rng.chance(1, 10) {
+                            s.push(ANY_EXTRA[rng.below(ANY_EXTRA.len() as u64) as usize]);
+                        } else {
+                            s.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap());
+                        }
+                    }
+                    Atom::Class(set) => s.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Literal(c) => s.push(*c),
+                }
+            }
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Inclusive-exclusive size bounds, as `proptest::collection` accepts.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.size.lo, self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.chance(3, 4) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (::core::default::Default::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            let __strategies = ( $( $strat, )+ );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                let mut __one_case = || {
+                    let ( $($arg,)+ ) = $crate::Strategy::generate(&__strategies, &mut __rng);
+                    $body
+                };
+                __one_case();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::__box_strategy($strat) ),+ ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when the assumption fails. Unlike real
+/// proptest this does not resample, so it must appear directly in the
+/// `proptest!` body (it expands to `return`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union};
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (1..5u64, 0..=3u8, 0..2usize);
+        for _ in 0..1000 {
+            let (a, b, c) = Strategy::generate(&s, &mut rng);
+            assert!((1..5).contains(&a));
+            assert!(b <= 3);
+            assert!(c < 2);
+        }
+    }
+
+    #[test]
+    fn regex_subset() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let any = Strategy::generate(&".{0,200}", &mut rng);
+            assert!(any.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = TestRng::from_seed(3);
+        let s = prop_oneof![
+            Just("a".to_string()),
+            (0..10u32).prop_map(|v| format!("n{v}")),
+        ];
+        let mut saw_a = false;
+        let mut saw_n = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            saw_a |= v == "a";
+            saw_n |= v.starts_with('n');
+        }
+        assert!(saw_a && saw_n);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro front-end itself: vec sizes respected, assume skips.
+        #[test]
+        fn macro_front_end(xs in crate::collection::vec(0..100u64, 1..9), flag in crate::option::of(0..2u8)) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            if let Some(f) = flag {
+                prop_assert!(f < 2, "flag out of range: {}", f);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! The benchmark generators only need `StdRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, and `Rng::gen_bool`. The
+//! generator is SplitMix64 — deterministic for a given seed, which the
+//! workload-reproducibility tests rely on. Note the stream of values is
+//! NOT the same as the real rand crate's StdRng (ChaCha12); only the
+//! API and determinism contract are preserved.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types `gen_range` accepts; implemented for `Range`/`RangeInclusive`
+/// of the integer types the workspace uses.
+pub trait SampleRange<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                self.start.wrapping_add(r)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                let r = ((rng.next_u64() as u128) % span) as $t;
+                lo.wrapping_add(r)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<G: RngCore + ?Sized> Rng for G {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator — small, fast, and deterministic per seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_range(0..1000u64)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_range(0..1000u64)).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        let vc: Vec<u64> = (0..16).map(|_| c.gen_range(0..1000u64)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0..=5u32);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.85)).count();
+        assert!((8_000..9_000).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Same-seed workload generation is bit-identical; different seeds
+//! diverge. Keeps every experiment reproducible run-to-run.
+
+use std::sync::Arc;
+use wukong_bench::{city_workload_seeded, ls_workload_seeded, Scale};
+use wukong_benchdata::{CityBench, CityBenchConfig, LsBench, LsBenchConfig};
+use wukong_rdf::StringServer;
+
+#[test]
+fn lsbench_same_seed_identical_streams() {
+    let a = ls_workload_seeded(Scale::Tiny, 7);
+    let b = ls_workload_seeded(Scale::Tiny, 7);
+    assert_eq!(a.stored, b.stored, "stored triples must match");
+    assert_eq!(a.timeline.len(), b.timeline.len());
+    for (x, y) in a.timeline.iter().zip(b.timeline.iter()) {
+        assert_eq!(
+            (x.stream, x.triple, x.timestamp),
+            (y.stream, y.triple, y.timestamp)
+        );
+    }
+}
+
+#[test]
+fn lsbench_different_seed_diverges() {
+    let a = ls_workload_seeded(Scale::Tiny, 7);
+    let b = ls_workload_seeded(Scale::Tiny, 8);
+    let same = a
+        .timeline
+        .iter()
+        .zip(b.timeline.iter())
+        .all(|(x, y)| (x.stream, x.triple, x.timestamp) == (y.stream, y.triple, y.timestamp));
+    assert!(
+        !(same && a.timeline.len() == b.timeline.len()),
+        "different seeds must generate different streams"
+    );
+}
+
+#[test]
+fn citybench_same_seed_identical_streams() {
+    let a = city_workload_seeded(Scale::Tiny, 11);
+    let b = city_workload_seeded(Scale::Tiny, 11);
+    assert_eq!(a.stored, b.stored, "stored triples must match");
+    assert_eq!(a.timeline.len(), b.timeline.len());
+    for (x, y) in a.timeline.iter().zip(b.timeline.iter()) {
+        assert_eq!(
+            (x.stream, x.triple, x.timestamp),
+            (y.stream, y.triple, y.timestamp)
+        );
+    }
+}
+
+/// The seeded test constructors on the generator configs thread the seed
+/// all the way into generation.
+#[test]
+fn generator_test_constructors_are_seeded() {
+    let run = |seed: u64| {
+        let ss = Arc::new(StringServer::new());
+        let mut g = LsBench::new(LsBenchConfig::tiny_seeded(seed), Arc::clone(&ss));
+        let stored = g.stored_triples();
+        let tl = g.generate(0, 500);
+        (stored, tl)
+    };
+    let (s1, t1) = run(3);
+    let (s2, t2) = run(3);
+    let (_, t3) = run(4);
+    assert_eq!(s1, s2);
+    assert_eq!(t1.len(), t2.len());
+    assert!(t1
+        .iter()
+        .zip(t2.iter())
+        .all(|(x, y)| (x.stream, x.triple, x.timestamp) == (y.stream, y.triple, y.timestamp)));
+    assert!(
+        t1.len() != t3.len()
+            || !t1.iter().zip(t3.iter()).all(
+                |(x, y)| (x.stream, x.triple, x.timestamp) == (y.stream, y.triple, y.timestamp)
+            ),
+        "seed must change the generated stream"
+    );
+
+    let city = |seed: u64| {
+        let ss = Arc::new(StringServer::new());
+        let mut g = CityBench::new(CityBenchConfig::default().with_seed(seed), Arc::clone(&ss));
+        let _ = g.stored_triples();
+        g.generate(0, 500)
+    };
+    let c1 = city(5);
+    let c2 = city(5);
+    assert_eq!(c1.len(), c2.len());
+    assert!(c1
+        .iter()
+        .zip(c2.iter())
+        .all(|(x, y)| (x.stream, x.triple, x.timestamp) == (y.stream, y.triple, y.timestamp)));
+}

@@ -3,8 +3,12 @@
 //! of Tables 2-4 and 9 would compare different computations.
 
 use std::sync::Arc;
-use wukong_baselines::{Composite, CompositePlan, CompositeProfile, SparkLike, SparkMode, WukongExt};
-use wukong_benchdata::{citybench, lsbench, CityBench, CityBenchConfig, LsBench, LsBenchConfig, TimedTuple};
+use wukong_baselines::{
+    Composite, CompositePlan, CompositeProfile, SparkLike, SparkMode, WukongExt,
+};
+use wukong_benchdata::{
+    citybench, lsbench, CityBench, CityBenchConfig, LsBench, LsBenchConfig, TimedTuple,
+};
 use wukong_core::{EngineConfig, WukongS};
 use wukong_rdf::{StringServer, Triple, Vid};
 
@@ -115,15 +119,30 @@ fn lsbench_all_engines_agree() {
             }
         };
         check(
-            sorted(storm.execute(sid, rig.duration, CompositePlan::Interleaved).0.rows),
+            sorted(
+                storm
+                    .execute(sid, rig.duration, CompositePlan::Interleaved)
+                    .0
+                    .rows,
+            ),
             "Storm+Wukong",
         );
         check(
-            sorted(storm.execute(sid, rig.duration, CompositePlan::StreamFirst).0.rows),
+            sorted(
+                storm
+                    .execute(sid, rig.duration, CompositePlan::StreamFirst)
+                    .0
+                    .rows,
+            ),
             "Storm+Wukong plan (b)",
         );
         check(
-            sorted(csparql.execute(cid, rig.duration, CompositePlan::Interleaved).0.rows),
+            sorted(
+                csparql
+                    .execute(cid, rig.duration, CompositePlan::Interleaved)
+                    .0
+                    .rows,
+            ),
             "CSPARQL",
         );
         check(sorted(micro.execute(mid, rig.duration).0.rows), "Spark");
@@ -158,7 +177,12 @@ fn citybench_engines_agree() {
         let mid = micro.register_continuous(&text).expect("spark");
 
         let reference = sorted(engine.execute_registered(wid).0.rows);
-        let got = sorted(storm.execute(sid, rig.duration, CompositePlan::Interleaved).0.rows);
+        let got = sorted(
+            storm
+                .execute(sid, rig.duration, CompositePlan::Interleaved)
+                .0
+                .rows,
+        );
         assert_eq!(got, reference, "Storm+Wukong disagrees on C{class}");
         let got = sorted(micro.execute(mid, rig.duration).0.rows);
         assert_eq!(got, reference, "Spark disagrees on C{class}");
@@ -182,7 +206,10 @@ fn structured_supports_exactly_group_one() {
         if class <= 3 {
             assert!(res.is_ok(), "Structured must support L{class}");
         } else {
-            assert!(res.is_err(), "Structured must reject L{class} (Table 4's x)");
+            assert!(
+                res.is_err(),
+                "Structured must reject L{class} (Table 4's x)"
+            );
         }
     }
 }

@@ -245,8 +245,16 @@ fn gc_bounds_transient_memory_under_load() {
     let stream = engine.cluster().stream(0);
     let t = stream.transients[0].read();
     // 50 batches were injected; only the window + slack may survive.
-    assert!(t.evicted_slices() > 30, "GC barely ran: {}", t.evicted_slices());
-    assert!(t.slice_count() < 15, "too many live slices: {}", t.slice_count());
+    assert!(
+        t.evicted_slices() > 30,
+        "GC barely ran: {}",
+        t.evicted_slices()
+    );
+    assert!(
+        t.slice_count() < 15,
+        "too many live slices: {}",
+        t.slice_count()
+    );
 }
 
 #[test]
@@ -272,7 +280,10 @@ fn snapshot_bound_holds_under_continuous_injection() {
             "snapshot bound violated on node {n}"
         );
     }
-    assert!(engine.stable_sn().0 >= 25, "snapshots advanced with batches");
+    assert!(
+        engine.stable_sn().0 >= 25,
+        "snapshots advanced with batches"
+    );
 }
 
 #[test]
@@ -399,7 +410,11 @@ fn mixed_batch_intervals_stay_consistent() {
 
     // Data-driven firing advanced through every 1 s step, each with a
     // live window.
-    assert!(firings.len() >= 4, "expected ≥4 firings, got {}", firings.len());
+    assert!(
+        firings.len() >= 4,
+        "expected ≥4 firings, got {}",
+        firings.len()
+    );
     assert!(firings.iter().all(|f| !f.results.is_empty()));
 }
 

@@ -1,0 +1,223 @@
+//! Integration tests for the observability layer: fabric-operation
+//! accounting per execution mode, staged latency attribution, and the
+//! machine-readable bench report.
+
+use std::sync::Arc;
+use wukong_bench::{feed_engine, ls_workload_seeded, BenchJson, Scale, JSON_SCHEMA_VERSION};
+use wukong_benchdata::lsbench;
+use wukong_core::{EngineConfig, ExecMode, WukongS};
+use wukong_obs::{json, Json};
+use wukong_rdf::{ntriples, StreamId};
+use wukong_stream::StreamSchema;
+
+/// Builds the Fig. 1 scenario on `nodes` nodes with `mode` forced.
+fn fig1_engine(nodes: usize, mode: ExecMode) -> WukongS {
+    let engine = WukongS::new(EngineConfig {
+        exec_mode: mode,
+        ..EngineConfig::cluster(nodes)
+    });
+    let ss = engine.strings().clone();
+    let stored = "Logan fo Erik\nErik fo Logan\nLogan po T-13\nErik li T-13\nT-13 ht #sosp17\n";
+    engine.load_base(ntriples::parse_document(&ss, stored).expect("parses"));
+    let tweets = engine.register_stream(StreamSchema::timeless(StreamId(0), "Tweet_Stream", 100));
+    let likes = engine.register_stream(StreamSchema::timeless(StreamId(1), "Like_Stream", 100));
+    for line in [
+        "Logan po T-15 150",
+        "Erik li T-15 250",
+        "Erik po T-16 300",
+        "Logan li T-16 350",
+    ] {
+        let t = ntriples::parse_tuple(&ss, line, 1).expect("tuple");
+        let sid = if line.contains(" po ") { tweets } else { likes };
+        engine.ingest(sid, t.triple, t.timestamp);
+    }
+    engine.advance_time(1_000);
+    engine
+}
+
+const QC: &str = "REGISTER QUERY QC SELECT ?X ?Y ?Z \
+     FROM Tweet_Stream [RANGE 10s STEP 1s] \
+     FROM Like_Stream [RANGE 5s STEP 1s] \
+     FROM X-Lab \
+     WHERE { GRAPH Tweet_Stream { ?X po ?Z } \
+             GRAPH X-Lab { ?X fo ?Y } \
+             GRAPH Like_Stream { ?Y li ?Z } }";
+
+/// In-place execution of a selective query on a 4-node cluster uses
+/// one-sided reads only: remote state is pulled, never shipped to.
+#[test]
+fn in_place_execution_uses_reads_not_messages() {
+    let engine = fig1_engine(4, ExecMode::InPlace);
+    let id = engine.register_continuous(QC).expect("register");
+    let handle = engine.handle();
+
+    let before = handle.fabric_metrics();
+    let (results, _) = engine.execute_registered(id);
+    let delta = before.delta(&handle.fabric_metrics());
+
+    assert!(!results.rows.is_empty(), "query must match");
+    assert!(
+        delta.one_sided_reads > 0,
+        "4-node in-place execution must read remote shards, got {delta:?}"
+    );
+    assert_eq!(
+        delta.messages, 0,
+        "in-place execution must not send messages, got {delta:?}"
+    );
+}
+
+/// Forced fork-join execution on the same cluster ships sub-queries to
+/// the data instead, so two-sided messages appear.
+#[test]
+fn forkjoin_execution_sends_messages() {
+    let engine = fig1_engine(4, ExecMode::ForkJoin);
+    let id = engine.register_continuous(QC).expect("register");
+    let handle = engine.handle();
+
+    let before = handle.fabric_metrics();
+    let (results, _) = engine.execute_registered(id);
+    let delta = before.delta(&handle.fabric_metrics());
+
+    assert!(!results.rows.is_empty(), "query must match");
+    assert!(
+        delta.messages > 0,
+        "fork-join execution must exchange messages, got {delta:?}"
+    );
+}
+
+/// The disjoint query stages (window extract, pattern match, result
+/// emit) account for the reported end-to-end latency to within 10%.
+#[test]
+fn stage_spans_sum_to_end_to_end_latency() {
+    let w = ls_workload_seeded(Scale::Tiny, 42);
+    let engine = WukongS::with_strings(EngineConfig::cluster(2), Arc::clone(&w.strings));
+    engine.load_base(w.stored.iter().copied());
+    for schema in w.schemas() {
+        engine.register_stream(schema);
+    }
+    for c in 1..=lsbench::CONTINUOUS_CLASSES {
+        engine
+            .register_continuous(&lsbench::continuous_query(&w.bench, c, 0))
+            .expect("register");
+    }
+    for t in &w.timeline {
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.advance_time(w.duration);
+
+    let firings = engine.fire_ready();
+    assert!(!firings.is_empty(), "the workload must fire queries");
+
+    let mut staged = 0u64;
+    let mut total = 0u64;
+    for f in &firings {
+        let sum = f.stages.query_total_ns();
+        let e2e = (f.latency_ms * 1e6) as u64;
+        assert!(
+            sum <= e2e + e2e / 100 + 1_000,
+            "stage sum {sum} ns exceeds end-to-end {e2e} ns for {:?}",
+            f.name
+        );
+        staged += sum;
+        total += e2e;
+    }
+    assert!(total > 0, "latencies must be non-zero");
+    let coverage = staged as f64 / total as f64;
+    assert!(
+        (0.9..=1.01).contains(&coverage),
+        "stages cover {:.1}% of end-to-end latency (want >= 90%)",
+        coverage * 100.0
+    );
+}
+
+/// Golden test for the `--json` report: a tiny in-process experiment
+/// written through `BenchJson` parses back with the expected schema,
+/// percentile keys, and stage names.
+#[test]
+fn json_report_round_trips_with_stable_schema() {
+    let w = ls_workload_seeded(Scale::Tiny, 42);
+    let engine = feed_engine(
+        EngineConfig::cluster(2),
+        &w.strings,
+        w.schemas(),
+        &w.stored,
+        &w.timeline,
+        w.duration,
+    );
+    let id = engine
+        .register_continuous(&lsbench::continuous_query(&w.bench, 1, 0))
+        .expect("register");
+    let mut rec = wukong_core::LatencyRecorder::new();
+    for _ in 0..8 {
+        let (_, ms) = engine.execute_registered(id);
+        rec.record(ms);
+    }
+
+    let path = std::env::temp_dir().join("wukong_obs_golden.json");
+    let mut jr = BenchJson::to_path("golden", &path);
+    jr.series("L1/wukong_s", &rec);
+    jr.counter("ops", 8.0);
+    jr.engine(&engine);
+    assert!(jr.active());
+    jr.finish().expect("written");
+
+    let text = std::fs::read_to_string(&path).expect("readable");
+    let doc = json::parse(&text).expect("valid JSON");
+
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(JSON_SCHEMA_VERSION)
+    );
+    assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("golden"));
+
+    let series = doc
+        .get("latency_ms")
+        .and_then(|l| l.get("L1/wukong_s"))
+        .expect("series present");
+    assert_eq!(series.get("samples").and_then(Json::as_u64), Some(8));
+    for key in ["p50", "p90", "p99", "p999", "mean"] {
+        assert!(
+            series.get(key).and_then(Json::as_f64).is_some(),
+            "missing percentile {key}"
+        );
+    }
+
+    let fabric = doc.get("fabric").expect("fabric section");
+    for key in [
+        "one_sided_reads",
+        "messages",
+        "bytes_read",
+        "bytes_sent",
+        "charged_ns",
+    ] {
+        assert!(fabric.get(key).is_some(), "missing fabric counter {key}");
+    }
+
+    // The executed query class must show up with the disjoint query
+    // stages; the fed streams with the batch stages.
+    let queries = doc
+        .get("stages")
+        .and_then(|s| s.get("queries"))
+        .and_then(Json::as_obj)
+        .expect("stage queries");
+    let (_, entry) = queries.iter().next().expect("at least one query class");
+    for stage in [
+        "end_to_end_ns",
+        "window_extract",
+        "pattern_match",
+        "result_emit",
+    ] {
+        assert!(entry.get(stage).is_some(), "missing query stage {stage}");
+    }
+    let streams = doc
+        .get("stages")
+        .and_then(|s| s.get("streams"))
+        .and_then(Json::as_obj)
+        .expect("stage streams");
+    let (_, entry) = streams.iter().next().expect("at least one stream");
+    for stage in ["adaptor", "dispatch", "injection", "stream_index"] {
+        assert!(entry.get(stage).is_some(), "missing batch stage {stage}");
+    }
+
+    std::fs::remove_file(&path).ok();
+}

@@ -109,8 +109,7 @@ fn checkpoints_chain_incrementally() {
     // Disjoint per-stream batch timestamps across checkpoints.
     for b1 in &cp1.batches {
         assert!(
-            !cp2
-                .batches
+            !cp2.batches
                 .iter()
                 .any(|b2| b2.stream == b1.stream && b2.timestamp == b1.timestamp),
             "batch logged twice"

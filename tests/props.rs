@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use wukong_core::checkpoint::{Checkpoint, LoggedBatch, LoggedQuery};
 use wukong_rdf::{Dir, Key, Pid, StreamTuple, Triple, Vid};
-use wukong_store::{BaseStore, IndexBatch, SnapshotId, StreamIndex, TransientSlice, TransientStore};
+use wukong_store::{
+    BaseStore, IndexBatch, SnapshotId, StreamIndex, TransientSlice, TransientStore,
+};
 use wukong_stream::{SnVtsPlanner, StalenessBound, Vts};
 
 fn arb_triple() -> impl Strategy<Value = Triple> {
