@@ -21,8 +21,14 @@ if [[ "${1:-}" == "--quick" ]]; then
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 1' "$out/table2.json"
+    grep -q '"schema_version": 2' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
+
+    echo "== recovery drill smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_recovery_drill -- --quick --json "$out/drill.json"
+    grep -q '"all_match": 1' "$out/drill.json"
+    echo "drill OK: $out/drill.json"
 fi
 
 echo "CI green"

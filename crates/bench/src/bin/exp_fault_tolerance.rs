@@ -174,7 +174,7 @@ fn main() {
     if !cps.contains(&cp) {
         cps.push(cp);
     }
-    let recovered = WukongS::recover(
+    let (recovered, report) = WukongS::recover_with_report(
         EngineConfig {
             fault_tolerance: true,
             ..EngineConfig::cluster(nodes)
@@ -185,6 +185,14 @@ fn main() {
         &cps,
     )
     .expect("recovery");
+    println!(
+        "\nRecovery: {:.2} ms, {} batches and {} queries replayed, {} duplicates suppressed",
+        report.recovery_ms,
+        report.replayed_batches,
+        report.replayed_queries,
+        report.dedup_suppressed,
+    );
+    jr.recovery(&report);
     let q = lsbench::continuous_query(&w.bench, 5, 0);
     let orig_id = ft.register_continuous(&q).expect("register");
     let rec_id = recovered.register_continuous(&q).expect("register");

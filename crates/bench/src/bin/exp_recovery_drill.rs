@@ -1,0 +1,227 @@
+//! Recovery drill: kill a node mid-stream, crash, replay checkpoint+log,
+//! and check the recovered deployment's firings against a never-failed
+//! control run (§5's recovery path, end to end).
+//!
+//! For each cell of a (killed node × kill time) matrix the drill:
+//!
+//! 1. boots an FT deployment with a fault plan that kills the node at the
+//!    scheduled stream time, registers the continuous-query mix *before*
+//!    feeding (so the query log checkpoints them),
+//! 2. feeds the timeline, firing the ready windows just before the kill;
+//!    after the kill the stable VTS stalls at the victim's last insert,
+//! 3. "crashes": captures the durable state (drained checkpoints + log
+//!    tail) exactly as a dying process would leave it, recovers a fresh
+//!    engine from it, and fires the windows the outage delayed,
+//! 4. compares every `(query, window_end)` firing — pre-crash plus
+//!    post-recovery — against the control run's result rows.
+//!
+//! At-least-once means a window at the recovery horizon may fire twice;
+//! the comparison asserts the repeat is row-identical, never missing.
+//! Any lost or divergent firing exits non-zero.
+//!
+//! `--quick` runs a single cell (CI smoke); `--json <path>` writes the
+//! machine-readable report.
+
+use std::collections::BTreeMap;
+use wukong_bench::{ls_workload, print_header, print_row, BenchJson, Scale};
+use wukong_benchdata::lsbench;
+use wukong_core::{EngineConfig, Firing, RecoveryManager, WukongS};
+use wukong_net::{FaultPlan, NodeId};
+use wukong_rdf::Timestamp;
+
+type FiringKey = (usize, Timestamp);
+type FiringMap = BTreeMap<FiringKey, Vec<Vec<wukong_rdf::Vid>>>;
+
+/// Folds firings into the `(query, window_end) → sorted rows` map,
+/// asserting that a re-fired window (at-least-once) repeats its rows
+/// exactly. Returns how many duplicate firings were absorbed.
+fn collect(firings: Vec<Firing>, into: &mut FiringMap) -> u64 {
+    let mut dups = 0;
+    for f in firings {
+        let mut rows = f.results.rows;
+        rows.sort();
+        match into.entry((f.query, f.window_end)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(rows);
+            }
+            std::collections::btree_map::Entry::Occupied(e) => {
+                assert_eq!(
+                    e.get(),
+                    &rows,
+                    "re-fired window {:?} changed its rows",
+                    e.key()
+                );
+                dups += 1;
+            }
+        }
+    }
+    dups
+}
+
+fn register_mix(engine: &WukongS, bench: &wukong_benchdata::LsBench) {
+    for c in 1..=3 {
+        engine
+            .register_continuous(&lsbench::continuous_query(bench, c, 0))
+            .expect("register");
+    }
+}
+
+struct CellOutcome {
+    recovery_ms: f64,
+    replayed_batches: u64,
+    dedup_suppressed: u64,
+    refired: u64,
+    matches: bool,
+    report: wukong_core::RecoveryReport,
+}
+
+fn run_cell(
+    w: &wukong_bench::LsWorkload,
+    nodes: usize,
+    victim: u16,
+    kill_ms: Timestamp,
+    control: &FiringMap,
+) -> CellOutcome {
+    let cfg = EngineConfig {
+        fault_tolerance: true,
+        fault_plan: Some(
+            FaultPlan::seeded(wukong_bench::seed_from_env()).kill_at(NodeId(victim), kill_ms),
+        ),
+        ..EngineConfig::cluster(nodes)
+    };
+    let mgr = RecoveryManager::new(
+        cfg.clone(),
+        w.stored.clone(),
+        w.schemas(),
+        std::sync::Arc::clone(&w.strings),
+    );
+    let engine = WukongS::with_strings(cfg, std::sync::Arc::clone(&w.strings));
+    engine.load_base(w.stored.iter().copied());
+    for schema in w.schemas() {
+        engine.register_stream(schema);
+    }
+    register_mix(&engine, &w.bench);
+
+    let mut fired = FiringMap::new();
+    let mut refired = 0;
+    let mut fired_pre_kill = false;
+    let mut checkpointed = false;
+    for t in &w.timeline {
+        // Last fully-live moment: collect everything ready before the
+        // kill lands (the kill applies on the next ingest's clock tick).
+        if !fired_pre_kill && t.timestamp >= kill_ms {
+            refired += collect(engine.fire_ready(), &mut fired);
+            fired_pre_kill = true;
+        }
+        if !checkpointed && t.timestamp >= kill_ms / 2 {
+            engine.checkpoint();
+            checkpointed = true;
+        }
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.advance_time(w.duration);
+
+    // Crash and recover. The drill captures the durable state exactly as
+    // the dying process leaves it and replays it into a fresh engine.
+    let (recovered, report) = mgr.drill(&engine, NodeId(victim)).expect("recovery");
+    refired += collect(recovered.fire_ready(), &mut fired);
+
+    let matches = &fired == control;
+    CellOutcome {
+        recovery_ms: report.recovery_ms,
+        replayed_batches: report.replayed_batches,
+        dedup_suppressed: report.dedup_suppressed,
+        refired,
+        matches,
+        report,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut jr = BenchJson::from_env("exp_recovery_drill");
+    let scale = Scale::from_env();
+    let nodes = 4;
+    let w = ls_workload(scale);
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms (scale {scale:?}, {nodes} nodes)",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    // Control: identical workload and query mix, never failed.
+    let control_engine = WukongS::with_strings(
+        EngineConfig {
+            fault_tolerance: true,
+            ..EngineConfig::cluster(nodes)
+        },
+        std::sync::Arc::clone(&w.strings),
+    );
+    control_engine.load_base(w.stored.iter().copied());
+    for schema in w.schemas() {
+        control_engine.register_stream(schema);
+    }
+    register_mix(&control_engine, &w.bench);
+    for t in &w.timeline {
+        control_engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    control_engine.advance_time(w.duration);
+    let mut control = FiringMap::new();
+    collect(control_engine.fire_ready(), &mut control);
+    println!("control run: {} firings", control.len());
+
+    let cells: Vec<(u16, Timestamp)> = if quick {
+        vec![(1, w.duration / 2)]
+    } else {
+        vec![
+            (1, w.duration / 3),
+            (1, 2 * w.duration / 3),
+            ((nodes - 1) as u16, w.duration / 3),
+            ((nodes - 1) as u16, 2 * w.duration / 3),
+        ]
+    };
+
+    print_header(
+        "Recovery drill: kill → crash → replay vs control",
+        &[
+            "victim", "kill ms", "rec ms", "replayed", "dedup", "refired", "result",
+        ],
+    );
+    let mut all_match = true;
+    let mut last = None;
+    for &(victim, kill_ms) in &cells {
+        let out = run_cell(&w, nodes, victim, kill_ms, &control);
+        all_match &= out.matches;
+        print_row(vec![
+            format!("node {victim}"),
+            format!("{kill_ms}"),
+            format!("{:.2}", out.recovery_ms),
+            format!("{}", out.replayed_batches),
+            format!("{}", out.dedup_suppressed),
+            format!("{}", out.refired),
+            if out.matches { "MATCH" } else { "MISMATCH" }.into(),
+        ]);
+        let tag = format!("kill_n{victim}_t{kill_ms}");
+        jr.counter(&format!("{tag}/recovery_ms"), out.recovery_ms);
+        jr.counter(
+            &format!("{tag}/replayed_batches"),
+            out.replayed_batches as f64,
+        );
+        jr.counter(&format!("{tag}/refired"), out.refired as f64);
+        jr.counter(&format!("{tag}/match"), if out.matches { 1.0 } else { 0.0 });
+        last = Some(out.report);
+    }
+    if let Some(report) = last {
+        jr.recovery(&report);
+    }
+    jr.counter("cells", cells.len() as f64);
+    jr.counter("all_match", if all_match { 1.0 } else { 0.0 });
+    jr.finish();
+
+    if !all_match {
+        eprintln!("recovery drill FAILED: a recovered run diverged from the control");
+        std::process::exit(1);
+    }
+    println!("\nall {} cells match the control run", cells.len());
+}

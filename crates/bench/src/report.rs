@@ -4,33 +4,44 @@
 use std::path::PathBuf;
 
 use wukong_core::metrics::LatencyRecorder;
-use wukong_core::WukongS;
-use wukong_obs::{HistogramSnapshot, Json, RegistrySnapshot};
+use wukong_core::{RecoveryReport, WukongS};
+use wukong_obs::{FaultSnapshot, HistogramSnapshot, Json, RegistrySnapshot};
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
 /// the document layout changes incompatibly.
-pub const JSON_SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 = initial layout; 2 = added the `faults` and
+/// `recovery` top-level members (fault-injection counters and
+/// checkpoint-replay metrics).
+pub const JSON_SCHEMA_VERSION: u64 = 2;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 1):
+/// Document layout (`schema_version` 2):
 ///
 /// ```json
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
 ///   "fabric":     { "one_sided_reads", "messages", "bytes_read", "bytes_sent", "charged_ns" },
+///   "faults":     { "msgs_dropped", "retransmits", "rpc_timeouts", ... },
+///   "recovery":   { "recovery_ms", "replayed_batches", "replayed_queries",
+///                   "dedup_suppressed", "restored_stable_sn" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
 ///   }
 /// }
 /// ```
+///
+/// `faults` carries every [`FaultSnapshot`] counter (all zero in a
+/// fault-free run); `recovery` stays an empty object unless the
+/// experiment performed a recovery and called [`BenchJson::recovery`].
 ///
 /// where every `{...}` stage/histogram entry carries
 /// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
@@ -108,6 +119,8 @@ impl BenchJson {
         doc.set("latency_ms", Json::object());
         doc.set("counters", Json::object());
         doc.set("fabric", Json::object());
+        doc.set("faults", Json::object());
+        doc.set("recovery", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -151,6 +164,32 @@ impl BenchJson {
         self.member("counters").set(name, Json::from(value));
     }
 
+    /// Records the fault-injection counters (usually an interval delta).
+    pub fn faults(&mut self, snap: &FaultSnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("faults") = o;
+    }
+
+    /// Records a recovery's replay metrics.
+    pub fn recovery(&mut self, r: &RecoveryReport) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        o.set("recovery_ms", Json::from(r.recovery_ms));
+        o.set("replayed_batches", Json::from(r.replayed_batches));
+        o.set("replayed_queries", Json::from(r.replayed_queries));
+        o.set("dedup_suppressed", Json::from(r.dedup_suppressed));
+        o.set("restored_stable_sn", Json::from(r.restored_stable_sn));
+        *self.member("recovery") = o;
+    }
+
     /// Captures an engine's fabric counters, operational counters, and
     /// staged latency breakdown.
     pub fn engine(&mut self, engine: &WukongS) {
@@ -178,6 +217,7 @@ impl BenchJson {
         ] {
             self.counter(name, v);
         }
+        self.faults(&engine.handle().fault_counters());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -225,14 +265,41 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
         assert_eq!(l1.get("p50").and_then(Json::as_f64), Some(2.0));
-        for key in ["counters", "fabric", "stages"] {
+        for key in ["counters", "fabric", "faults", "recovery", "stages"] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn faults_and_recovery_sections_round_trip() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let snap = FaultSnapshot {
+            msgs_dropped: 7,
+            retransmits: 7,
+            ..Default::default()
+        };
+        j.faults(&snap);
+        let rep = RecoveryReport {
+            recovery_ms: 1.25,
+            replayed_batches: 40,
+            replayed_queries: 2,
+            dedup_suppressed: 3,
+            restored_stable_sn: 9,
+        };
+        j.recovery(&rep);
+        let doc = j.document();
+        let f = doc.get("faults").unwrap();
+        assert_eq!(f.get("msgs_dropped").and_then(Json::as_u64), Some(7));
+        assert_eq!(f.get("rpc_timeouts").and_then(Json::as_u64), Some(0));
+        let r = doc.get("recovery").unwrap();
+        assert_eq!(r.get("replayed_batches").and_then(Json::as_u64), Some(40));
+        assert_eq!(r.get("recovery_ms").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(r.get("restored_stable_sn").and_then(Json::as_u64), Some(9));
     }
 }
 /// Formats milliseconds the way the paper's tables do: two decimals below

@@ -154,7 +154,10 @@ impl Checkpoint {
 
         need(buf, 4)?;
         let nq = buf.get_u32() as usize;
-        let mut queries = Vec::with_capacity(nq);
+        // Cap the pre-allocation by what the buffer could possibly hold
+        // (≥ 5 bytes per query record): a corrupt count must fail with
+        // `Truncated`, not allocate gigabytes first.
+        let mut queries = Vec::with_capacity(nq.min(buf.remaining() / 5));
         for _ in 0..nq {
             need(buf, 4)?;
             let len = buf.get_u32() as usize;
@@ -179,7 +182,8 @@ impl Checkpoint {
 
         need(buf, 4)?;
         let nb = buf.get_u32() as usize;
-        let mut batches = Vec::with_capacity(nb);
+        // Same capacity cap as above (≥ 14 bytes per batch record).
+        let mut batches = Vec::with_capacity(nb.min(buf.remaining() / 14));
         for _ in 0..nb {
             need(buf, 14)?;
             let stream = buf.get_u16();

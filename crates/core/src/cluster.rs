@@ -16,7 +16,7 @@
 //! additional RDMA read"). Memory accounting multiplies index bytes by the
 //! replica count, so Table 7 reflects real replication cost.
 
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, RpcPolicy};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -81,6 +81,7 @@ pub struct Cluster {
     /// Whether stream indexes replicate to subscriber nodes (§4.2).
     pub replicate_indexes: bool,
     obs: Arc<wukong_obs::Registry>,
+    rpc: RpcPolicy,
 }
 
 /// A cheap, cloneable handle onto a deployment's shared observability
@@ -112,6 +113,11 @@ impl ClusterHandle {
     pub fn fabric_metrics(&self) -> wukong_net::MetricsSnapshot {
         self.cluster.fabric().metrics()
     }
+
+    /// Point-in-time copy of the fault/recovery counters.
+    pub fn fault_counters(&self) -> wukong_obs::FaultSnapshot {
+        self.cluster.obs().faults().snapshot()
+    }
 }
 
 impl Cluster {
@@ -123,18 +129,29 @@ impl Cluster {
     /// Builds the cluster sharing an existing string server (recovery: the
     /// ID mapping is part of the reloaded initial data, §4.1).
     pub fn new_with_strings(config: &EngineConfig, strings: Arc<StringServer>) -> Self {
+        let obs = Arc::new(wukong_obs::Registry::new());
+        let mut fabric = Fabric::new(config.nodes, config.network);
+        if let Some(plan) = &config.fault_plan {
+            fabric.install_faults(plan.clone(), Arc::clone(obs.faults()));
+        }
         Cluster {
             shards: (0..config.nodes)
                 .map(|_| PersistentShard::new(config.partitions_per_shard))
                 .collect(),
             shard_map: ShardMap::new(config.nodes as u16),
-            fabric: Fabric::new(config.nodes, config.network),
+            fabric,
             strings,
             streams: RwLock::new(Vec::new()),
             transient_budget: config.transient_budget_bytes,
             replicate_indexes: config.replicate_stream_indexes,
-            obs: Arc::new(wukong_obs::Registry::new()),
+            obs,
+            rpc: config.rpc,
         }
+    }
+
+    /// The fork-join RPC deadline/retry policy.
+    pub fn rpc_policy(&self) -> RpcPolicy {
+        self.rpc
     }
 
     /// The observability registry (staged latency histograms).

@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use wukong_net::NetworkProfile;
+use wukong_net::{FaultPlan, NetworkProfile};
 use wukong_stream::StalenessBound;
 
 /// How queries execute across the cluster (§5, "Leveraging RDMA").
@@ -14,6 +14,49 @@ pub enum ExecMode {
     /// Always distributed fork-join execution (the paper's Non-RDMA mode
     /// enforces this, §6.2 Table 5).
     ForkJoin,
+}
+
+/// Per-RPC failure-handling policy for fork-join execution under an
+/// installed fault plan: how long a worker waits for each remote reply,
+/// what a timed-out attempt costs in virtual time, and how retries back
+/// off. See DESIGN.md §8 for the rationale behind the defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcPolicy {
+    /// Real-time wait per RPC attempt before declaring a timeout.
+    pub deadline_ms: u64,
+    /// Virtual nanoseconds charged for each timed-out attempt (the
+    /// modelled deadline; the real wait itself is excluded from latency).
+    pub deadline_charge_ns: u64,
+    /// Retries after the first timed-out attempt before the shard is
+    /// declared unreachable and the query degrades to partial results.
+    pub max_retries: u32,
+    /// First retry's backoff charge, doubled per retry.
+    pub backoff_base_ns: u64,
+    /// Cap on the per-retry backoff charge.
+    pub backoff_cap_ns: u64,
+}
+
+impl Default for RpcPolicy {
+    fn default() -> Self {
+        RpcPolicy {
+            deadline_ms: 2,
+            deadline_charge_ns: 500_000,
+            max_retries: 3,
+            backoff_base_ns: 100_000,
+            backoff_cap_ns: 1_600_000,
+        }
+    }
+}
+
+impl RpcPolicy {
+    /// The capped exponential backoff charged before retry `attempt`
+    /// (1-based).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .backoff_base_ns
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(32));
+        shifted.min(self.backoff_cap_ns)
+    }
 }
 
 /// Static configuration of a Wukong+S deployment.
@@ -48,6 +91,11 @@ pub struct EngineConfig {
     /// concurrently) and shows that 4 cores speed the group II queries up
     /// ~3× when low latency is critical (§6.4).
     pub cores_per_query: usize,
+    /// Deterministic fault plan installed on the fabric at boot (`None`
+    /// runs the cluster fault-free, exactly as before).
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-RPC deadline/retry/backoff policy for fork-join under faults.
+    pub rpc: RpcPolicy,
 }
 
 impl EngineConfig {
@@ -65,6 +113,8 @@ impl EngineConfig {
             fault_tolerance: false,
             replicate_stream_indexes: true,
             cores_per_query: 1,
+            fault_plan: None,
+            rpc: RpcPolicy::default(),
         }
     }
 
@@ -99,5 +149,15 @@ mod tests {
         let t = EngineConfig::cluster_tcp(4);
         assert!(!t.network.one_sided_available);
         assert_eq!(t.exec_mode, ExecMode::ForkJoin);
+        assert!(t.fault_plan.is_none());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RpcPolicy::default();
+        assert_eq!(p.backoff_ns(1), 100_000);
+        assert_eq!(p.backoff_ns(2), 200_000);
+        assert_eq!(p.backoff_ns(3), 400_000);
+        assert_eq!(p.backoff_ns(30), p.backoff_cap_ns);
     }
 }

@@ -23,7 +23,7 @@ use wukong_rdf::{StreamId, StringServer, Timestamp, Triple};
 use wukong_store::gc;
 use wukong_stream::window::StreamWindow;
 use wukong_stream::{
-    dispatch, Adaptor, Batch, Coordinator, InjectStats, StreamSchema, WindowState,
+    dispatch, Adaptor, Batch, Coordinator, InjectStats, StreamSchema, Vts, WindowState,
 };
 
 /// Handle of a registered continuous query.
@@ -58,6 +58,22 @@ pub struct DeploymentStats {
     pub batches_processed: u64,
     /// Fabric operation counters.
     pub fabric: wukong_net::MetricsSnapshot,
+}
+
+/// What a recovery replayed and restored (see
+/// [`WukongS::recover_with_report`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Wall-clock duration of the whole recovery path, ms.
+    pub recovery_ms: f64,
+    /// Logged batches re-enqueued from the checkpoint chain.
+    pub replayed_batches: u64,
+    /// Continuous queries re-registered from the query log.
+    pub replayed_queries: u64,
+    /// Batches / sub-batches suppressed as duplicates during replay.
+    pub dedup_suppressed: u64,
+    /// The stable snapshot number after replay.
+    pub restored_stable_sn: u64,
 }
 
 /// One execution of a continuous query.
@@ -205,6 +221,9 @@ impl WukongS {
     /// stall). Tuples arriving within the allowance still land in an
     /// open batch.
     pub fn ingest(&self, stream: StreamId, triple: Triple, ts: Timestamp) {
+        // Observed time drives the fault schedule: kills/restarts planned
+        // at or before `ts` apply before this tuple's batches dispatch.
+        self.cluster.fabric().advance_clock(ts);
         let mut pl = self.pipeline.lock();
         let mut sealed = pl.adaptors[stream.0 as usize].push(triple, ts);
         for (i, a) in pl.adaptors.iter_mut().enumerate() {
@@ -238,6 +257,7 @@ impl WukongS {
     /// Advances every stream's clock to `ts`, sealing quiet batches (the
     /// heartbeat that keeps the VTS — and therefore visibility — moving).
     pub fn advance_time(&self, ts: Timestamp) {
+        self.cluster.fabric().advance_clock(ts);
         let mut pl = self.pipeline.lock();
         let mut sealed = Vec::new();
         for a in &mut pl.adaptors {
@@ -278,6 +298,18 @@ impl WukongS {
 
     fn enqueue_batch(&self, pl: &mut Pipeline, batch: Batch) {
         let s = batch.stream.0 as usize;
+        // Log on arrival, not on processing: a batch stalled behind a
+        // dead node's VTS entry must already be in the durable log, or a
+        // crash during the outage loses it (§5 logs each batch as it
+        // enters the pipeline).
+        if self.cfg.fault_tolerance {
+            pl.log.push(LoggedBatch {
+                stream: s as u16,
+                timestamp: batch.timestamp,
+                tuples: batch.tuples.clone(),
+            });
+            pl.inject_stats[s].inject_ns += LOGGING_DELAY_NS;
+        }
         pl.pending[s].push_back(batch);
     }
 
@@ -306,33 +338,67 @@ impl WukongS {
 
     fn process_batch(&self, pl: &mut Pipeline, batch: Batch, sn: wukong_store::SnapshotId) {
         let s = batch.stream.0 as usize;
+        // At-least-once suppression: a batch at or below the stream's
+        // stable timestamp is already inserted on every node, so a
+        // redelivery (upstream retry, log replay into a live engine)
+        // must be a no-op.
+        if batch.timestamp > 0 && pl.coordinator.stable_vts().get(s) >= batch.timestamp {
+            self.cluster.obs().faults().inc_dedup_suppressed();
+            return;
+        }
         let stream = self.cluster.stream(s);
         *stream.raw_bytes.write() += self.textual_bytes(&batch);
 
-        if self.cfg.fault_tolerance {
-            pl.log.push(LoggedBatch {
-                stream: s as u16,
-                timestamp: batch.timestamp,
-                tuples: batch.tuples.clone(),
-            });
-            pl.inject_stats[s].inject_ns += LOGGING_DELAY_NS;
-        }
-
         // Dispatch: the stream enters at one node; each non-empty remote
         // sub-batch costs a message (background cost, counted in fabric
-        // metrics but not on any query's latency).
+        // metrics but not on any query's latency). Under a fault plan the
+        // entry point fails over to the next live node, sub-batches go
+        // through the lossy at-least-once path (dropped copies are
+        // retransmitted, duplicate copies suppressed), and sub-batches
+        // for dead nodes are lost until recovery replays the log.
         let dispatch_start = std::time::Instant::now();
         let subs = dispatch(&batch, self.cluster.shard_map());
-        let entry = NodeId((s % self.cluster.nodes()) as u16);
+        let fabric = self.cluster.fabric();
+        let faulty = fabric.faults_enabled();
+        let nodes = self.cluster.nodes();
+        let mut entry_idx = s % nodes;
+        if faulty && !fabric.is_up(NodeId(entry_idx as u16)) {
+            if let Some(live) = (0..nodes)
+                .map(|k| (entry_idx + k) % nodes)
+                .find(|&n| fabric.is_up(NodeId(n as u16)))
+            {
+                entry_idx = live;
+            }
+        }
+        let entry = NodeId(entry_idx as u16);
         let mut scratch = TaskTimer::start();
+        // Which nodes actually receive (and therefore insert and report)
+        // this batch. An empty sub-batch "arrives" implicitly — no
+        // message — but still only on live nodes.
+        let mut delivered = vec![true; nodes];
         for sub in &subs {
-            if !sub.tuples.is_empty() {
-                self.cluster.fabric().charge_message(
-                    entry,
-                    NodeId(sub.node),
-                    sub.wire_bytes(),
-                    &mut scratch,
-                );
+            let to = NodeId(sub.node);
+            if faulty && !fabric.is_up(to) {
+                delivered[sub.node as usize] = false;
+                if !sub.tuples.is_empty() {
+                    // Counts the drops; returns 0 copies for a dead node.
+                    fabric.send_at_least_once(entry, to, sub.wire_bytes(), &mut scratch);
+                }
+                continue;
+            }
+            if sub.tuples.is_empty() {
+                continue;
+            }
+            if faulty {
+                let copies = fabric.send_at_least_once(entry, to, sub.wire_bytes(), &mut scratch);
+                if copies > 1 {
+                    self.cluster
+                        .obs()
+                        .faults()
+                        .add_dedup_suppressed(u64::from(copies - 1));
+                }
+            } else {
+                fabric.charge_message(entry, to, sub.wire_bytes(), &mut scratch);
             }
         }
         let dispatch_ns = dispatch_start.elapsed().as_nanos() as u64;
@@ -350,6 +416,16 @@ impl WukongS {
         let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
         for sub in &subs {
             let node = sub.node;
+            if !delivered[node as usize] {
+                continue;
+            }
+            if pl.coordinator.already_inserted(node as usize, s, ts) {
+                // Redelivered while another node's outage stalls the
+                // stable VTS: this node already holds the batch.
+                self.cluster.obs().faults().inc_dedup_suppressed();
+                delivered[node as usize] = false;
+                continue;
+            }
             let owns = |k: wukong_rdf::Key| self.cluster.shard_map().node_of_key(k) == node;
             let shard = self.cluster.shard(node);
             let t0 = std::time::Instant::now();
@@ -396,9 +472,14 @@ impl WukongS {
             stats[node as usize].inject_ns += t0.elapsed().as_nanos() as u64;
         }
 
-        // Phase 2: apply index-vertex updates on their owners.
+        // Phase 2: apply index-vertex updates on their owners. An owner
+        // that did not receive the batch misses the update too — recovery
+        // replays the whole batch, regenerating it.
         for (key, v) in index_updates {
             let node = self.cluster.shard_map().node_of_key(key);
+            if !delivered[node as usize] {
+                continue;
+            }
             let t0 = std::time::Instant::now();
             let (off, _) = self.cluster.shard(node).append_owned(key, v, sn, merge);
             receipts[node as usize].push(wukong_store::base::AppendReceipt { key, offset: off });
@@ -413,7 +494,9 @@ impl WukongS {
             .map(|(node, (rc, st))| {
                 let t0 = std::time::Instant::now();
                 let ib = wukong_store::IndexBatch::from_receipts(ts, rc);
-                stream.indexes[node].write().push_batch(ib.clone());
+                if delivered[node] {
+                    stream.indexes[node].write().push_batch(ib.clone());
+                }
                 let mut st = *st;
                 st.index_ns += t0.elapsed().as_nanos() as u64;
                 (ib, st)
@@ -429,8 +512,8 @@ impl WukongS {
                     continue;
                 }
                 for &q in &subscribers {
-                    if q as usize != m {
-                        self.cluster.fabric().charge_message(
+                    if q as usize != m && fabric.is_up(NodeId(q)) {
+                        fabric.charge_message(
                             NodeId(m as u16),
                             NodeId(q),
                             ib.heap_bytes(),
@@ -463,8 +546,14 @@ impl WukongS {
             .obs()
             .record_stream(&stream.schema.name, &batch_trace);
 
-        // Coordinator bookkeeping: per-node insertion reports.
+        // Coordinator bookkeeping: per-node insertion reports. A node
+        // that never received the batch reports nothing — its local VTS
+        // stalls, the stable VTS (elementwise min) stalls with it, and
+        // visibility correctly excludes the partial insertion.
         for (node, (_, stats)) in results.into_iter().enumerate() {
+            if !delivered[node] {
+                continue;
+            }
             pl.inject_stats[s].add(&stats);
             let ev = pl.coordinator.on_batch_inserted(node, s, ts);
             if let Some(upto) = ev.consolidate_upto {
@@ -834,6 +923,7 @@ impl WukongS {
                     rows: Vec::new(),
                     aggregates: Vec::new(),
                     group_aggregates: Vec::new(),
+                    unreachable_shards: Vec::new(),
                 },
                 0.0,
             );
@@ -997,6 +1087,31 @@ impl WukongS {
         self.checkpoints.lock().clone()
     }
 
+    /// Like [`WukongS::checkpoint`] but *non-draining*: encodes every
+    /// batch logged since the last drained checkpoint while leaving the
+    /// internal log untouched. This is the durable state a crash sees —
+    /// the about-to-die engine is never told anything happened.
+    pub fn tail_checkpoint(&self) -> Bytes {
+        let pl = self.pipeline.lock();
+        let cp = Checkpoint {
+            local_vts: (0..self.cluster.nodes())
+                .map(|n| pl.coordinator.local_vts(n).entries().to_vec())
+                .collect(),
+            queries: self
+                .registry
+                .read()
+                .iter()
+                .filter(|r| !r.retired.load(Ordering::Relaxed))
+                .map(|r| LoggedQuery {
+                    text: r.text.clone(),
+                    construct_target: r.construct_target.map(|t| t.0),
+                })
+                .collect(),
+            batches: pl.log.clone(),
+        };
+        cp.encode()
+    }
+
     /// Rebuilds a deployment after a failure: reload the initial data,
     /// re-register the streams, replay the checkpoints in order, then
     /// re-register the continuous queries and catch their windows up to
@@ -1009,6 +1124,20 @@ impl WukongS {
         strings: &Arc<StringServer>,
         checkpoints: &[Bytes],
     ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        Self::recover_with_report(cfg, base, schemas, strings, checkpoints).map(|(e, _)| e)
+    }
+
+    /// [`WukongS::recover`] plus a [`RecoveryReport`] of what the replay
+    /// did; the end-to-end wall time is also recorded under the
+    /// `recovery` series of the new deployment's obs registry.
+    pub fn recover_with_report(
+        cfg: EngineConfig,
+        base: impl IntoIterator<Item = Triple>,
+        schemas: Vec<StreamSchema>,
+        strings: &Arc<StringServer>,
+        checkpoints: &[Bytes],
+    ) -> Result<(Self, RecoveryReport), crate::checkpoint::CheckpointError> {
+        let t0 = std::time::Instant::now();
         // Share the original string server: IDs in checkpoints refer to it
         // (in production it is reloaded as part of the initial dataset).
         let engine = WukongS::with_strings(cfg, Arc::clone(strings));
@@ -1016,11 +1145,20 @@ impl WukongS {
         for schema in schemas {
             engine.register_stream(schema);
         }
+        let mut report = RecoveryReport::default();
+        let before = engine.cluster.obs().faults().snapshot();
 
         // Re-register the continuous queries *before* replaying data so
         // the garbage collector's expiry horizons respect their windows
         // (the query-registration log is replayed first, §5).
         let mut registered: Vec<String> = Vec::new();
+        // The stable VTS the crashed engine had actually reached, as
+        // persisted in the last checkpoint's per-node entries. Replay may
+        // push the *new* stable VTS far beyond it (a dead node's stall
+        // disappears once every replayed batch lands on live nodes), and
+        // catching windows up to the replayed VTS would silently skip
+        // every firing the outage had delayed — a lost-firing bug.
+        let mut cp_stable: Option<Vts> = None;
         for bytes in checkpoints {
             let cp = Checkpoint::decode(bytes)?;
             for q in &cp.queries {
@@ -1029,7 +1167,16 @@ impl WukongS {
                         .register_with_target(&q.text, q.construct_target.map(StreamId))
                         .expect("checkpointed query re-parses");
                     registered.push(q.text.clone());
+                    report.replayed_queries += 1;
                 }
+            }
+            if !cp.local_vts.is_empty() {
+                let locals: Vec<Vts> = cp
+                    .local_vts
+                    .iter()
+                    .map(|e| Vts::from_entries(e.clone()))
+                    .collect();
+                cp_stable = Some(Vts::stable(locals.iter()));
             }
             let mut pl = engine.pipeline.lock();
             for lb in cp.batches {
@@ -1039,12 +1186,12 @@ impl WukongS {
                     tuples: lb.tuples,
                     discarded: 0,
                 };
+                report.replayed_batches += 1;
                 engine.enqueue_batch(&mut pl, batch);
             }
             engine.drain_pending(&mut pl);
         }
-        // Adaptors resume strictly after the replayed batches, and
-        // windows catch up to the restored stable VTS.
+        // Adaptors resume strictly after the replayed batches.
         {
             let mut pl = engine.pipeline.lock();
             let stable = pl.coordinator.stable_vts().clone();
@@ -1052,11 +1199,29 @@ impl WukongS {
                 a.fast_forward(stable.get(i));
             }
         }
-        let stable = engine.pipeline.lock().coordinator.stable_vts().clone();
+        // Windows resume at the *checkpointed* stable VTS, not the
+        // replayed one: the window at the horizon may re-fire
+        // (at-least-once, §5), and every window the crash or an outage
+        // delayed fires on the next `fire_ready()`.
+        let replayed = engine.pipeline.lock().coordinator.stable_vts().clone();
+        let mut resume = cp_stable.unwrap_or_else(|| Vts::new(replayed.len()));
+        resume.grow(replayed.len());
         for r in engine.registry.read().iter() {
-            r.window.lock().catch_up(&stable);
+            r.window.lock().catch_up(&resume);
         }
-        Ok(engine)
+
+        let counters = engine.cluster.obs().faults();
+        report.dedup_suppressed = before.delta(&counters.snapshot()).dedup_suppressed;
+        report.restored_stable_sn = engine.stable_sn().0;
+        counters.inc_recovery();
+        counters.add_replayed_batches(report.replayed_batches);
+        let ns = t0.elapsed().as_nanos() as u64;
+        report.recovery_ms = ns as f64 / 1e6;
+        engine
+            .cluster
+            .obs()
+            .record_stream_stage("recovery", Stage::Recovery, ns);
+        Ok((engine, report))
     }
 }
 

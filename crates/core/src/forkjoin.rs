@@ -12,7 +12,9 @@
 
 use crate::access::NodeAccess;
 use crate::cluster::Cluster;
-use wukong_net::{NodeId, TaskTimer};
+use crate::config::RpcPolicy;
+use std::time::Duration;
+use wukong_net::{Endpoint, NodeId, TaskTimer};
 use wukong_obs::{Stage, StageTrace};
 use wukong_query::ast::Term;
 use wukong_query::bindings::{BindingTable, UNBOUND};
@@ -44,8 +46,105 @@ fn anchor_key(step: &Step, v: Vid) -> Key {
     }
 }
 
+/// What failed during one fork-join execution (graceful degradation).
+#[derive(Debug, Default, Clone)]
+pub struct FaultTally {
+    /// Nodes whose partitions never answered within the RPC retry
+    /// budget; their rows are missing from the result.
+    pub unreachable: Vec<u16>,
+}
+
+/// Runs one remote partition as an RPC with per-attempt deadlines and
+/// capped exponential backoff (fault-injection mode only). The request
+/// and reply travel through real fabric endpoints, so the installed
+/// fault plan can drop, duplicate, or delay either side; a timed-out
+/// attempt charges the modelled deadline instead of its real wait.
+///
+/// Returns the partition's result (or `None` once the retry budget is
+/// exhausted — the shard is unreachable) and the hop cost either way: a
+/// failed partition still spent its deadlines inside the parallel fork,
+/// so its cost participates in the step's max-hop like any other.
+#[allow(clippy::too_many_arguments)]
+fn rpc_partition(
+    step: &Step,
+    part: &BindingTable,
+    ctx: &ExecContext,
+    cluster: &Cluster,
+    home: NodeId,
+    node: NodeId,
+    cores: usize,
+    policy: &RpcPolicy,
+    eps: &[Endpoint<u64>],
+    timer: &mut TaskTimer,
+    sequential_real: &mut u64,
+) -> (Option<BindingTable>, u64) {
+    let fabric = cluster.fabric();
+    let counters = cluster.obs().faults();
+    let home_ep = &eps[home.idx()];
+    let worker_ep = &eps[node.idx()];
+    // Stale replies from an earlier partition's duplicated deliveries
+    // must not satisfy this partition's wait.
+    while home_ep.try_recv().is_some() {}
+
+    let mut net_ns = 0u64;
+    let mut result: Option<BindingTable> = None;
+    let max_attempts = 1 + policy.max_retries;
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            counters.inc_rpc_retry();
+            net_ns += policy.backoff_ns(attempt - 1);
+        }
+        if !fabric.is_up(node) {
+            // A dead worker can never answer: charge the modelled
+            // deadline without burning real wall-clock on the wait.
+            counters.inc_rpc_timeout();
+            net_ns += policy.deadline_charge_ns;
+            continue;
+        }
+        net_ns += home_ep.send(node, part.wire_bytes(), attempt as u64);
+        // The worker drains its mailbox and answers every delivered
+        // request copy; re-execution is idempotent, so duplicated
+        // requests only cost (excluded) compute and an extra reply.
+        while let Some(_req) = worker_ep.try_recv() {
+            let access = NodeAccess::new(cluster, node);
+            let started = std::time::Instant::now();
+            let mut sub_timer = TaskTimer::start();
+            let out = execute_step(step, part, ctx, &access, &mut sub_timer);
+            let real = started.elapsed().as_nanos() as u64;
+            *sequential_real += real;
+            let c = cores.max(1).min(part.len().max(1)) as u64;
+            let work_ns = (real + sub_timer.charged_ns()) / c;
+            worker_ep.send(home, out.wire_bytes(), work_ns);
+            result = Some(out);
+        }
+        let wait = std::time::Instant::now();
+        match home_ep.recv_timeout(Duration::from_millis(policy.deadline_ms)) {
+            Ok(env) => {
+                timer.exclude(wait.elapsed().as_nanos() as u64);
+                net_ns += env.charged_ns + env.payload;
+                while home_ep.try_recv().is_some() {}
+                let out = result.expect("a delivered reply implies an executed partition");
+                return (Some(out), net_ns);
+            }
+            Err(_) => {
+                // Request or reply lost: the real wait is bookkeeping
+                // (the simulation delivers instantly or never), the
+                // modelled deadline is the charged cost.
+                timer.exclude(wait.elapsed().as_nanos() as u64);
+                counters.inc_rpc_timeout();
+                net_ns += policy.deadline_charge_ns;
+            }
+        }
+    }
+    (None, net_ns)
+}
+
 /// Executes one anchored step with per-node partitioning and parallel
-/// workers; returns the joined table.
+/// workers; returns the joined table. Under an installed fault plan,
+/// remote partitions run as deadline-bounded RPCs (see
+/// [`rpc_partition`]); unreachable shards land in `tally` and their rows
+/// are omitted.
+#[allow(clippy::too_many_arguments)]
 fn partitioned_step(
     step: &Step,
     input: &BindingTable,
@@ -54,6 +153,7 @@ fn partitioned_step(
     home: NodeId,
     cores: usize,
     timer: &mut TaskTimer,
+    tally: &mut FaultTally,
 ) -> BindingTable {
     let nodes = cluster.nodes();
     let mut parts: Vec<BindingTable> = (0..nodes)
@@ -65,6 +165,10 @@ fn partitioned_step(
             None => parts[home.idx()].push_row(row),
         }
     }
+
+    let faulty = cluster.fabric().faults_enabled();
+    let endpoints = faulty.then(|| cluster.fabric().endpoints::<u64>());
+    let policy = cluster.rpc_policy();
 
     // Fork: run each non-empty partition on its owning node. Partitions
     // execute sequentially here (the host may have a single core), but a
@@ -79,6 +183,33 @@ fn partitioned_step(
             continue;
         }
         let node = NodeId(n as u16);
+        if node != home {
+            if let Some(eps) = &endpoints {
+                let (out, hop) = rpc_partition(
+                    step,
+                    part,
+                    ctx,
+                    cluster,
+                    home,
+                    node,
+                    cores,
+                    &policy,
+                    eps,
+                    timer,
+                    &mut sequential_real,
+                );
+                max_hop = max_hop.max(hop);
+                match out {
+                    Some(out) => {
+                        for row in out.iter() {
+                            joined.push_row(row);
+                        }
+                    }
+                    None => tally.unreachable.push(n as u16),
+                }
+                continue;
+            }
+        }
         let access = NodeAccess::new(cluster, node);
         let started = std::time::Instant::now();
         let mut sub_timer = TaskTimer::start();
@@ -219,6 +350,7 @@ pub fn execute_forkjoin_traced(
 ) -> ResultSet {
     let mut table = BindingTable::seed(query.var_count as usize);
     let mut applied = vec![false; query.filters.len()];
+    let mut tally = FaultTally::default();
     let t0 = timer.total_ns();
     let mut fanout_ns = 0u64;
 
@@ -229,7 +361,9 @@ pub fn execute_forkjoin_traced(
         } else {
             (table, *step)
         };
-        table = partitioned_step(&anchored, &input, ctx, cluster, home, cores, timer);
+        table = partitioned_step(
+            &anchored, &input, ctx, cluster, home, cores, timer, &mut tally,
+        );
         fanout_ns += timer.total_ns().saturating_sub(fork_start);
         apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
         if table.is_empty() {
@@ -249,8 +383,14 @@ pub fn execute_forkjoin_traced(
     trace.add(Stage::PatternMatch, matched.saturating_sub(t0));
     trace.add(Stage::ForkJoinFanout, fanout_ns);
     trace.add(Stage::ForkJoinMerge, matched.saturating_sub(merge_start));
-    let out = finalize(query, table, &applied, lit);
+    let mut out = finalize(query, table, &applied, lit);
     trace.add(Stage::ResultEmit, timer.total_ns().saturating_sub(matched));
+    if !tally.unreachable.is_empty() {
+        tally.unreachable.sort_unstable();
+        tally.unreachable.dedup();
+        out.unreachable_shards = tally.unreachable;
+        cluster.obs().faults().inc_degraded();
+    }
     out
 }
 
@@ -335,5 +475,66 @@ mod tests {
         let delta = before.delta(&cluster.fabric().metrics());
         assert_eq!(rs.rows.len(), 64);
         assert!(delta.messages > 0, "fork-join must message remote nodes");
+    }
+
+    fn run_two_hop(cluster: &Cluster) -> ResultSet {
+        let ss = cluster.strings();
+        let q = parse_query(ss, "SELECT ?X ?Y ?Z WHERE { ?X fo ?Y . ?Y po ?Z }").unwrap();
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let access = NodeAccess::new(cluster, NodeId(0));
+        let plan = plan_query(&q, &access, &ctx);
+        let mut t = TaskTimer::start();
+        execute_forkjoin(&q, &plan, &ctx, cluster, NodeId(0), 1, &NoLiterals, &mut t)
+    }
+
+    #[test]
+    fn forkjoin_rpc_survives_lossy_links() {
+        use wukong_net::FaultPlan;
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::seeded(42).lossy(0.25, 0.1)),
+            ..EngineConfig::cluster(4)
+        };
+        let cluster = Cluster::new(&cfg);
+        load_follow_graph(&cluster, 64);
+        let rs = run_two_hop(&cluster);
+        assert!(
+            rs.unreachable_shards.is_empty(),
+            "retries must repair a 25% lossy link (seed-dependent; pick another seed)"
+        );
+        assert_eq!(rs.rows.len(), 64, "no rows may be lost to retries");
+        let snap = cluster.obs().faults().snapshot();
+        assert!(
+            snap.msgs_dropped > 0,
+            "a 25% lossy link must drop something, got {snap:?}"
+        );
+    }
+
+    #[test]
+    fn forkjoin_degrades_when_a_shard_dies() {
+        use wukong_net::FaultPlan;
+        let cfg = EngineConfig {
+            fault_plan: Some(FaultPlan::seeded(1)),
+            ..EngineConfig::cluster(4)
+        };
+        let cluster = Cluster::new(&cfg);
+        load_follow_graph(&cluster, 64);
+        assert!(cluster.fabric().kill_node(NodeId(2)));
+
+        let rs = run_two_hop(&cluster);
+        assert_eq!(rs.unreachable_shards, vec![2], "dead shard must be tagged");
+        assert!(
+            rs.rows.len() < 64,
+            "partial answer must miss the dead shard's rows"
+        );
+        let snap = cluster.obs().faults().snapshot();
+        assert!(snap.rpc_timeouts > 0);
+        assert!(snap.rpc_retries > 0);
+        assert_eq!(snap.degraded_answers, 1);
+
+        // Restarting the shard heals execution (state is in-process).
+        assert!(cluster.fabric().restart_node(NodeId(2)));
+        let healed = run_two_hop(&cluster);
+        assert!(healed.unreachable_shards.is_empty());
+        assert_eq!(healed.rows.len(), 64);
     }
 }

@@ -60,9 +60,11 @@ pub mod config;
 pub mod engine;
 pub mod forkjoin;
 pub mod metrics;
+pub mod recovery;
 
 pub use client::{Client, Prepared, ProxyPool, Submitted};
 pub use cluster::ClusterHandle;
-pub use config::{EngineConfig, ExecMode};
-pub use engine::{ContinuousId, DeploymentStats, Firing, WukongS};
+pub use config::{EngineConfig, ExecMode, RpcPolicy};
+pub use engine::{ContinuousId, DeploymentStats, Firing, RecoveryReport, WukongS};
 pub use metrics::LatencyRecorder;
+pub use recovery::RecoveryManager;

@@ -1,0 +1,85 @@
+//! End-to-end crash recovery (§5).
+//!
+//! [`RecoveryManager`] packages the full recovery path over a running
+//! deployment: capture the durable state a crash would leave behind
+//! (drained checkpoints plus a non-draining tail of the current log),
+//! boot a fresh engine, replay the checkpoint chain, re-register the
+//! continuous queries, restore the vector timestamps, and resume the
+//! windows at the checkpointed stable VTS so no delayed firing is lost
+//! (at-least-once: the firing *at* the horizon may repeat, never vanish).
+//!
+//! The manager owns the immutable inputs recovery needs — configuration,
+//! initial stored data, stream schemas, the shared string server — so a
+//! drill is a one-liner for benches and tests.
+
+use crate::checkpoint::CheckpointError;
+use crate::config::EngineConfig;
+use crate::engine::{RecoveryReport, WukongS};
+use bytes::Bytes;
+use std::sync::Arc;
+use wukong_net::NodeId;
+use wukong_rdf::{StringServer, Triple};
+use wukong_stream::StreamSchema;
+
+/// Drives checkpoint-and-log recovery for one deployment lineage.
+pub struct RecoveryManager {
+    cfg: EngineConfig,
+    base: Vec<Triple>,
+    schemas: Vec<StreamSchema>,
+    strings: Arc<StringServer>,
+}
+
+impl RecoveryManager {
+    /// Captures the recovery inputs: the deployment's configuration, its
+    /// initial stored data, the stream schemas in registration order, and
+    /// the shared string server checkpointed IDs refer to.
+    pub fn new(
+        cfg: EngineConfig,
+        base: Vec<Triple>,
+        schemas: Vec<StreamSchema>,
+        strings: Arc<StringServer>,
+    ) -> Self {
+        RecoveryManager {
+            cfg,
+            base,
+            schemas,
+            strings,
+        }
+    }
+
+    /// The durable state a crash of `engine` would leave behind: every
+    /// drained checkpoint plus a tail checkpoint of the un-drained log.
+    pub fn durable_state(&self, engine: &WukongS) -> Vec<Bytes> {
+        let mut cps = engine.checkpoints();
+        cps.push(engine.tail_checkpoint());
+        cps
+    }
+
+    /// Boots a fresh engine from durable state. The recovered deployment
+    /// runs fault-free: the fault plan (and any dead node) died with the
+    /// failed process.
+    pub fn recover(&self, durable: &[Bytes]) -> Result<(WukongS, RecoveryReport), CheckpointError> {
+        let mut cfg = self.cfg.clone();
+        cfg.fault_plan = None;
+        WukongS::recover_with_report(
+            cfg,
+            self.base.iter().copied(),
+            self.schemas.clone(),
+            &self.strings,
+            durable,
+        )
+    }
+
+    /// The full drill: kill `node` on the running engine, capture the
+    /// durable state exactly as the crash would see it, and recover a
+    /// fresh engine from it.
+    pub fn drill(
+        &self,
+        engine: &WukongS,
+        node: NodeId,
+    ) -> Result<(WukongS, RecoveryReport), CheckpointError> {
+        engine.cluster().fabric().kill_node(node);
+        let durable = self.durable_state(engine);
+        self.recover(&durable)
+    }
+}

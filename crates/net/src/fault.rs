@@ -1,0 +1,470 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] is a declarative description of what should go wrong
+//! during a run: nodes that die (and possibly come back) at scheduled
+//! simulated times, and links that drop, duplicate, or delay messages
+//! with given probabilities. Installing a plan on a [`crate::Fabric`]
+//! produces a [`FaultState`] — the runtime that draws from a seeded RNG,
+//! tracks node liveness, fires the kill/restart schedule as the engine
+//! advances stream time, and records every injected fault both as a
+//! structured [`FaultEvent`] (so same-seed runs can be compared event by
+//! event) and into shared [`FaultCounters`].
+//!
+//! Everything is deterministic for a fixed seed: the RNG is the offline
+//! SplitMix64 shim, draws are serialized under a mutex in the engine's
+//! single-threaded drivers, and a probability of zero consumes no draw —
+//! so the decision sequence is a pure function of the plan, the seed, and
+//! the order of fabric operations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wukong_obs::FaultCounters;
+
+use crate::fabric::NodeId;
+
+/// How many times the at-least-once dispatch layer re-sends a dropped
+/// message before giving up (only reachable when a link drops with
+/// probability 1.0 — real lossy links repair far earlier).
+pub const MAX_RETRANSMITS: u32 = 16;
+
+/// One lossy-link rule. `from`/`to` of `None` match any node; the first
+/// matching rule in the plan wins.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFault {
+    /// Source node the rule applies to (`None` = any).
+    pub from: Option<NodeId>,
+    /// Destination node the rule applies to (`None` = any).
+    pub to: Option<NodeId>,
+    /// Probability a message on this link is silently dropped.
+    pub drop_p: f64,
+    /// Probability a (non-dropped) message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a (non-dropped) message is delayed by `delay_ns`.
+    pub delay_p: f64,
+    /// Extra charged latency applied to delayed messages.
+    pub delay_ns: u64,
+}
+
+impl LinkFault {
+    fn matches(&self, from: NodeId, to: NodeId) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+}
+
+/// One entry of the kill/restart schedule, in simulated milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// Simulated time (stream-time milliseconds) the event fires at.
+    pub at_ms: u64,
+    /// The node affected.
+    pub node: NodeId,
+    /// `true` kills the node, `false` restarts it.
+    pub kill: bool,
+}
+
+/// A declarative, seeded description of the faults to inject.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; identical seeds and plans reproduce identical faults.
+    pub seed: u64,
+    /// Lossy-link rules; first match wins per message.
+    pub links: Vec<LinkFault>,
+    /// Kill/restart schedule (fired as the engine advances stream time).
+    pub schedule: Vec<ScheduledEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed` (typically `WUKONG_SEED`).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Schedules `node` to die at simulated time `at_ms`.
+    pub fn kill_at(mut self, node: NodeId, at_ms: u64) -> Self {
+        self.schedule.push(ScheduledEvent {
+            at_ms,
+            node,
+            kill: true,
+        });
+        self
+    }
+
+    /// Schedules `node` to come back at simulated time `at_ms`.
+    pub fn restart_at(mut self, node: NodeId, at_ms: u64) -> Self {
+        self.schedule.push(ScheduledEvent {
+            at_ms,
+            node,
+            kill: false,
+        });
+        self
+    }
+
+    /// Makes the `from → to` link drop and duplicate messages.
+    pub fn lossy_link(mut self, from: NodeId, to: NodeId, drop_p: f64, dup_p: f64) -> Self {
+        self.links.push(LinkFault {
+            from: Some(from),
+            to: Some(to),
+            drop_p,
+            dup_p,
+            ..LinkFault::default()
+        });
+        self
+    }
+
+    /// Makes every link drop and duplicate messages.
+    pub fn lossy(mut self, drop_p: f64, dup_p: f64) -> Self {
+        self.links.push(LinkFault {
+            drop_p,
+            dup_p,
+            ..LinkFault::default()
+        });
+        self
+    }
+
+    /// Makes every link delay messages by `delay_ns` with probability
+    /// `delay_p`.
+    pub fn delayed(mut self, delay_p: f64, delay_ns: u64) -> Self {
+        self.links.push(LinkFault {
+            delay_p,
+            delay_ns,
+            ..LinkFault::default()
+        });
+        self
+    }
+}
+
+/// One injected fault, recorded in occurrence order. Same-seed runs with
+/// the same plan produce identical logs — the determinism tests compare
+/// them element-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A node died (schedule or drill).
+    Killed {
+        /// The node that died.
+        node: NodeId,
+        /// Simulated time of death.
+        at_ms: u64,
+    },
+    /// A dead node came back (empty, pre-recovery).
+    Restarted {
+        /// The node that came back.
+        node: NodeId,
+        /// Simulated time of the restart.
+        at_ms: u64,
+    },
+    /// A message was dropped (lossy link or dead destination).
+    Dropped {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// A message was delivered twice.
+    Duplicated {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// A message was delivered late.
+    Delayed {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Extra charged nanoseconds.
+        extra_ns: u64,
+    },
+    /// A one-sided read targeted a dead node.
+    DeadRead {
+        /// Reader.
+        from: NodeId,
+        /// Dead target.
+        to: NodeId,
+    },
+}
+
+/// The delivery verdict for one message: how many copies arrive (0 =
+/// dropped, 2 = duplicated) and any extra charged delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Copies delivered to the destination mailbox.
+    pub copies: u32,
+    /// Extra nanoseconds the copies are charged with.
+    pub extra_ns: u64,
+}
+
+impl Delivery {
+    const CLEAN: Delivery = Delivery {
+        copies: 1,
+        extra_ns: 0,
+    };
+}
+
+/// Runtime state of an installed [`FaultPlan`]: node liveness, the
+/// seeded RNG, the schedule cursor, and the event log.
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    up: Vec<AtomicBool>,
+    clock_ms: AtomicU64,
+    cursor: Mutex<usize>,
+    log: Mutex<Vec<FaultEvent>>,
+    counters: Arc<FaultCounters>,
+}
+
+impl FaultState {
+    /// Instantiates `plan` over a `nodes`-node cluster, recording into
+    /// `counters`. All nodes start alive; the schedule is fired by
+    /// [`FaultState::advance_clock`].
+    pub fn new(mut plan: FaultPlan, nodes: usize, counters: Arc<FaultCounters>) -> Self {
+        plan.schedule.sort_by_key(|e| e.at_ms);
+        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
+        FaultState {
+            rng,
+            up: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
+            clock_ms: AtomicU64::new(0),
+            cursor: Mutex::new(0),
+            log: Mutex::new(Vec::new()),
+            counters,
+            plan,
+        }
+    }
+
+    /// The installed plan (schedule sorted by time).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The shared counters faults are recorded into.
+    pub fn counters(&self) -> &Arc<FaultCounters> {
+        &self.counters
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.up
+            .get(node.idx())
+            .is_some_and(|b| b.load(Ordering::Relaxed))
+    }
+
+    /// Kills `node` now; returns whether it was alive.
+    pub fn kill(&self, node: NodeId) -> bool {
+        let was_up = self.up[node.idx()].swap(false, Ordering::Relaxed);
+        if was_up {
+            self.counters.inc_kill();
+            self.log.lock().push(FaultEvent::Killed {
+                node,
+                at_ms: self.clock_ms.load(Ordering::Relaxed),
+            });
+        }
+        was_up
+    }
+
+    /// Restarts `node` (empty — recovery repopulates it); returns whether
+    /// it was dead.
+    pub fn restart(&self, node: NodeId) -> bool {
+        let was_down = !self.up[node.idx()].swap(true, Ordering::Relaxed);
+        if was_down {
+            self.counters.inc_restart();
+            self.log.lock().push(FaultEvent::Restarted {
+                node,
+                at_ms: self.clock_ms.load(Ordering::Relaxed),
+            });
+        }
+        was_down
+    }
+
+    /// Advances simulated time to `now_ms` (monotonic) and fires every
+    /// schedule entry that has come due.
+    pub fn advance_clock(&self, now_ms: u64) {
+        self.clock_ms.fetch_max(now_ms, Ordering::Relaxed);
+        let now = self.clock_ms.load(Ordering::Relaxed);
+        let mut cursor = self.cursor.lock();
+        while let Some(e) = self.plan.schedule.get(*cursor) {
+            if e.at_ms > now {
+                break;
+            }
+            if e.kill {
+                self.kill(e.node);
+            } else {
+                self.restart(e.node);
+            }
+            *cursor += 1;
+        }
+    }
+
+    /// Decides the fate of one message `from → to`: a dead destination
+    /// drops it, otherwise the first matching link rule draws from the
+    /// seeded RNG.
+    pub fn decide(&self, from: NodeId, to: NodeId) -> Delivery {
+        if !self.is_up(to) {
+            self.record_drop(from, to);
+            return Delivery {
+                copies: 0,
+                extra_ns: 0,
+            };
+        }
+        self.decide_link(from, to)
+    }
+
+    /// Link-rule verdict only (liveness checked by the caller). A zero
+    /// probability consumes no RNG draw, and a dropped message skips the
+    /// duplicate/delay draws, so the draw sequence is a pure function of
+    /// the outcomes.
+    pub fn decide_link(&self, from: NodeId, to: NodeId) -> Delivery {
+        let Some(rule) = self.plan.links.iter().find(|r| r.matches(from, to)) else {
+            return Delivery::CLEAN;
+        };
+        let mut rng = self.rng.lock();
+        if rule.drop_p > 0.0 && rng.gen_bool(rule.drop_p) {
+            drop(rng);
+            self.record_drop(from, to);
+            return Delivery {
+                copies: 0,
+                extra_ns: 0,
+            };
+        }
+        let copies = if rule.dup_p > 0.0 && rng.gen_bool(rule.dup_p) {
+            self.counters.inc_duplicated();
+            self.log.lock().push(FaultEvent::Duplicated { from, to });
+            2
+        } else {
+            1
+        };
+        let extra_ns = if rule.delay_p > 0.0 && rng.gen_bool(rule.delay_p) {
+            self.counters.inc_delayed();
+            self.log.lock().push(FaultEvent::Delayed {
+                from,
+                to,
+                extra_ns: rule.delay_ns,
+            });
+            rule.delay_ns
+        } else {
+            0
+        };
+        Delivery { copies, extra_ns }
+    }
+
+    /// Records a message lost on `from → to`.
+    pub fn record_drop(&self, from: NodeId, to: NodeId) {
+        self.counters.inc_dropped();
+        self.log.lock().push(FaultEvent::Dropped { from, to });
+    }
+
+    /// Records a one-sided read that hit the dead node `to`.
+    pub fn record_dead_read(&self, from: NodeId, to: NodeId) {
+        self.counters.inc_dead_read();
+        self.log.lock().push(FaultEvent::DeadRead { from, to });
+    }
+
+    /// A copy of the event log so far, in occurrence order.
+    pub fn log(&self) -> Vec<FaultEvent> {
+        self.log.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultState")
+            .field("plan", &self.plan)
+            .field("clock_ms", &self.clock_ms.load(Ordering::Relaxed))
+            .field("events", &self.log.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(plan: FaultPlan) -> FaultState {
+        FaultState::new(plan, 3, Arc::new(FaultCounters::default()))
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::seeded(7).lossy(0.3, 0.3).delayed(0.2, 5_000);
+        let a = state(plan.clone());
+        let b = state(plan);
+        let da: Vec<Delivery> = (0..200).map(|_| a.decide(NodeId(0), NodeId(1))).collect();
+        let db: Vec<Delivery> = (0..200).map(|_| b.decide(NodeId(0), NodeId(1))).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.log(), b.log());
+        assert!(a
+            .log()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Dropped { .. })));
+
+        let c = state(FaultPlan::seeded(8).lossy(0.3, 0.3).delayed(0.2, 5_000));
+        let dc: Vec<Delivery> = (0..200).map(|_| c.decide(NodeId(0), NodeId(1))).collect();
+        assert_ne!(da, dc, "different seeds must differ");
+    }
+
+    #[test]
+    fn first_matching_rule_wins_and_rules_scope_links() {
+        let plan = FaultPlan::seeded(1)
+            .lossy_link(NodeId(0), NodeId(1), 1.0, 0.0)
+            .lossy(0.0, 0.0);
+        let s = state(plan);
+        assert_eq!(s.decide(NodeId(0), NodeId(1)).copies, 0);
+        assert_eq!(s.decide(NodeId(1), NodeId(0)), Delivery::CLEAN);
+        assert_eq!(s.decide(NodeId(0), NodeId(2)), Delivery::CLEAN);
+    }
+
+    #[test]
+    fn schedule_fires_in_time_order() {
+        let plan = FaultPlan::seeded(0)
+            .restart_at(NodeId(1), 900)
+            .kill_at(NodeId(1), 400)
+            .kill_at(NodeId(2), 600);
+        let s = state(plan);
+        assert!(s.is_up(NodeId(1)));
+        s.advance_clock(500);
+        assert!(!s.is_up(NodeId(1)));
+        assert!(s.is_up(NodeId(2)));
+        s.advance_clock(1_000);
+        assert!(s.is_up(NodeId(1)), "restart fired");
+        assert!(!s.is_up(NodeId(2)));
+        // The clock is monotonic: rewinding is a no-op.
+        s.advance_clock(100);
+        assert!(!s.is_up(NodeId(2)));
+        assert_eq!(
+            s.log(),
+            vec![
+                FaultEvent::Killed {
+                    node: NodeId(1),
+                    at_ms: 500
+                },
+                FaultEvent::Killed {
+                    node: NodeId(2),
+                    at_ms: 1_000
+                },
+                FaultEvent::Restarted {
+                    node: NodeId(1),
+                    at_ms: 1_000
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn dead_destination_drops_everything() {
+        let s = state(FaultPlan::seeded(3));
+        s.kill(NodeId(2));
+        assert_eq!(s.decide(NodeId(0), NodeId(2)).copies, 0);
+        assert_eq!(s.decide(NodeId(0), NodeId(1)), Delivery::CLEAN);
+        assert_eq!(s.counters().snapshot().msgs_dropped, 1);
+        s.restart(NodeId(2));
+        assert_eq!(s.decide(NodeId(0), NodeId(2)), Delivery::CLEAN);
+        assert_eq!(s.counters().snapshot().node_kills, 1);
+        assert_eq!(s.counters().snapshot().node_restarts, 1);
+    }
+}

@@ -21,14 +21,23 @@
 //! reads per remote lookup (§5), or fork-join synchronisation charging a
 //! round of messages per hop (Table 5's 1.8-3.5× slowdown).
 
+//!
+//! The [`fault`] module makes the simulation misbehave on demand: a
+//! seeded [`FaultPlan`] can kill/restart nodes at scheduled times, make
+//! links drop/duplicate/delay messages, and fail one-sided reads against
+//! dead nodes — deterministically per seed, so failure drills are
+//! reproducible.
+
 pub mod clock;
 pub mod fabric;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod profile;
 
 pub use clock::TaskTimer;
-pub use fabric::{Endpoint, Fabric, NodeId};
+pub use fabric::{Endpoint, Fabric, NodeDown, NodeId};
+pub use fault::{Delivery, FaultEvent, FaultPlan, FaultState, LinkFault, ScheduledEvent};
 pub use message::Envelope;
 pub use metrics::{FabricMetrics, MetricsSnapshot};
 pub use profile::NetworkProfile;

@@ -1,0 +1,214 @@
+//! Fault and recovery counters.
+//!
+//! The fault-injection layer (in `wukong-net`) and the recovery path (in
+//! `wukong-core`) both record into one shared [`FaultCounters`] so a
+//! single snapshot answers "what went wrong and what did the engine do
+//! about it" for an experiment interval. The counters follow the same
+//! monotonic snapshot/delta discipline as `FabricMetrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of injected faults and the engine's reactions.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    msgs_dropped: AtomicU64,
+    msgs_duplicated: AtomicU64,
+    msgs_delayed: AtomicU64,
+    retransmits: AtomicU64,
+    rpc_timeouts: AtomicU64,
+    rpc_retries: AtomicU64,
+    dead_reads: AtomicU64,
+    degraded_answers: AtomicU64,
+    dedup_suppressed: AtomicU64,
+    replayed_batches: AtomicU64,
+    recoveries: AtomicU64,
+    node_kills: AtomicU64,
+    node_restarts: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($(#[$doc:meta])* $fn_name:ident => $field:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $fn_name(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl FaultCounters {
+    bump! {
+        /// A message was dropped by a lossy link or a dead destination.
+        inc_dropped => msgs_dropped,
+        /// A message was delivered twice by a duplicating link.
+        inc_duplicated => msgs_duplicated,
+        /// A message was delivered late by a delaying link.
+        inc_delayed => msgs_delayed,
+        /// A dropped message was re-sent by the at-least-once layer.
+        inc_retransmit => retransmits,
+        /// An RPC wait expired before the reply arrived.
+        inc_rpc_timeout => rpc_timeouts,
+        /// An RPC was retried after a timeout.
+        inc_rpc_retry => rpc_retries,
+        /// A one-sided read targeted a dead node.
+        inc_dead_read => dead_reads,
+        /// A query answered with partial results (unreachable shards).
+        inc_degraded => degraded_answers,
+        /// A duplicated or replayed batch was suppressed by VTS dedup.
+        inc_dedup_suppressed => dedup_suppressed,
+        /// A logged batch was replayed during recovery.
+        inc_replayed_batch => replayed_batches,
+        /// A full checkpoint-and-log recovery completed.
+        inc_recovery => recoveries,
+        /// A node was killed by the fault schedule or a drill.
+        inc_kill => node_kills,
+        /// A dead node was restarted.
+        inc_restart => node_restarts,
+    }
+
+    /// Adds `n` suppressed duplicates at once.
+    pub fn add_dedup_suppressed(&self, n: u64) {
+        self.dedup_suppressed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` replayed batches at once.
+    pub fn add_replayed_batches(&self, n: u64) {
+        self.replayed_batches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            msgs_dropped: self.msgs_dropped.load(Ordering::Relaxed),
+            msgs_duplicated: self.msgs_duplicated.load(Ordering::Relaxed),
+            msgs_delayed: self.msgs_delayed.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            rpc_timeouts: self.rpc_timeouts.load(Ordering::Relaxed),
+            rpc_retries: self.rpc_retries.load(Ordering::Relaxed),
+            dead_reads: self.dead_reads.load(Ordering::Relaxed),
+            degraded_answers: self.degraded_answers.load(Ordering::Relaxed),
+            dedup_suppressed: self.dedup_suppressed.load(Ordering::Relaxed),
+            replayed_batches: self.replayed_batches.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            node_kills: self.node_kills.load(Ordering::Relaxed),
+            node_restarts: self.node_restarts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FaultCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSnapshot {
+    /// Messages dropped by lossy links or dead destinations.
+    pub msgs_dropped: u64,
+    /// Messages delivered twice by duplicating links.
+    pub msgs_duplicated: u64,
+    /// Messages delivered late by delaying links.
+    pub msgs_delayed: u64,
+    /// Drops repaired by the at-least-once retransmit layer.
+    pub retransmits: u64,
+    /// RPC waits that expired before a reply arrived.
+    pub rpc_timeouts: u64,
+    /// RPC attempts made after a timeout.
+    pub rpc_retries: u64,
+    /// One-sided reads that targeted a dead node.
+    pub dead_reads: u64,
+    /// Queries answered with partial results.
+    pub degraded_answers: u64,
+    /// Duplicated/replayed batches suppressed by VTS dedup.
+    pub dedup_suppressed: u64,
+    /// Logged batches replayed during recovery.
+    pub replayed_batches: u64,
+    /// Completed checkpoint-and-log recoveries.
+    pub recoveries: u64,
+    /// Nodes killed by the fault schedule or a drill.
+    pub node_kills: u64,
+    /// Dead nodes restarted.
+    pub node_restarts: u64,
+}
+
+impl FaultSnapshot {
+    /// Difference of two snapshots (`later - self`).
+    pub fn delta(&self, later: &FaultSnapshot) -> FaultSnapshot {
+        FaultSnapshot {
+            msgs_dropped: later.msgs_dropped - self.msgs_dropped,
+            msgs_duplicated: later.msgs_duplicated - self.msgs_duplicated,
+            msgs_delayed: later.msgs_delayed - self.msgs_delayed,
+            retransmits: later.retransmits - self.retransmits,
+            rpc_timeouts: later.rpc_timeouts - self.rpc_timeouts,
+            rpc_retries: later.rpc_retries - self.rpc_retries,
+            dead_reads: later.dead_reads - self.dead_reads,
+            degraded_answers: later.degraded_answers - self.degraded_answers,
+            dedup_suppressed: later.dedup_suppressed - self.dedup_suppressed,
+            replayed_batches: later.replayed_batches - self.replayed_batches,
+            recoveries: later.recoveries - self.recoveries,
+            node_kills: later.node_kills - self.node_kills,
+            node_restarts: later.node_restarts - self.node_restarts,
+        }
+    }
+
+    /// `(name, value)` pairs in display order, for report writers.
+    pub fn entries(&self) -> [(&'static str, u64); 13] {
+        [
+            ("msgs_dropped", self.msgs_dropped),
+            ("msgs_duplicated", self.msgs_duplicated),
+            ("msgs_delayed", self.msgs_delayed),
+            ("retransmits", self.retransmits),
+            ("rpc_timeouts", self.rpc_timeouts),
+            ("rpc_retries", self.rpc_retries),
+            ("dead_reads", self.dead_reads),
+            ("degraded_answers", self.degraded_answers),
+            ("dedup_suppressed", self.dedup_suppressed),
+            ("replayed_batches", self.replayed_batches),
+            ("recoveries", self.recoveries),
+            ("node_kills", self.node_kills),
+            ("node_restarts", self.node_restarts),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let c = FaultCounters::default();
+        c.inc_dropped();
+        c.inc_dropped();
+        c.inc_retransmit();
+        c.inc_recovery();
+        c.add_dedup_suppressed(3);
+        let before = c.snapshot();
+        c.inc_dropped();
+        c.add_replayed_batches(5);
+        let d = before.delta(&c.snapshot());
+        assert_eq!(d.msgs_dropped, 1);
+        assert_eq!(d.replayed_batches, 5);
+        assert_eq!(d.retransmits, 0);
+        assert_eq!(before.msgs_dropped, 2);
+        assert_eq!(before.dedup_suppressed, 3);
+        assert_eq!(before.recoveries, 1);
+    }
+
+    #[test]
+    fn entries_cover_every_field() {
+        let c = FaultCounters::default();
+        c.inc_duplicated();
+        c.inc_delayed();
+        c.inc_rpc_timeout();
+        c.inc_rpc_retry();
+        c.inc_dead_read();
+        c.inc_degraded();
+        c.inc_kill();
+        c.inc_restart();
+        c.inc_replayed_batch();
+        c.inc_dedup_suppressed();
+        let s = c.snapshot();
+        let names: std::collections::HashSet<_> = s.entries().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 13);
+        let lit: u64 = s.entries().iter().map(|(_, v)| v).sum();
+        assert_eq!(lit, 10);
+    }
+}

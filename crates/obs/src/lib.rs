@@ -18,12 +18,16 @@
 //!
 //! The [`json`] module is a dependency-free JSON value type with a
 //! serializer and parser, used by the bench binaries' `--json` mode.
+//! The [`faults`] module adds monotonic counters for injected faults and
+//! the engine's reactions (drops, retries, timeouts, recoveries).
 
+pub mod faults;
 pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod stage;
 
+pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use json::Json;
 pub use registry::{Registry, RegistrySnapshot, SeriesSnapshot};

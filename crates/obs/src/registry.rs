@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::faults::FaultCounters;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::stage::{Stage, StageTrace};
 
@@ -31,6 +32,7 @@ struct Series {
 pub struct Registry {
     queries: RwLock<BTreeMap<String, Arc<RwLock<Series>>>>,
     streams: RwLock<BTreeMap<String, Arc<RwLock<Series>>>>,
+    faults: Arc<FaultCounters>,
 }
 
 fn series_for(
@@ -88,6 +90,12 @@ impl Registry {
         let mut t = StageTrace::new();
         t.add(stage, ns);
         self.record_stream(stream, &t);
+    }
+
+    /// The shared fault/recovery counters; the fault-injection fabric
+    /// and the recovery path both record here.
+    pub fn faults(&self) -> &Arc<FaultCounters> {
+        &self.faults
     }
 
     /// Point-in-time copy of every keyed series.

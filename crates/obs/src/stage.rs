@@ -17,7 +17,9 @@
 //!   sealing in the stream adaptor), `Dispatch` (sharding the batch
 //!   across nodes), `Injection` (writing tuples into per-node transient
 //!   stores), `StreamIndex` (appending to the stream index), and `Gc`
-//!   (expiring dead batches).
+//!   (expiring dead batches). `Recovery` covers one checkpoint-and-log
+//!   replay after an injected crash (§5); it rides the batch family
+//!   because replay re-runs the ingest pipeline.
 
 /// One stage of a traced execution. See the module docs for semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,11 +36,12 @@ pub enum Stage {
     Injection,
     StreamIndex,
     Gc,
+    Recovery,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::WindowExtract,
         Stage::PatternMatch,
         Stage::ForkJoinFanout,
@@ -49,6 +52,7 @@ impl Stage {
         Stage::Injection,
         Stage::StreamIndex,
         Stage::Gc,
+        Stage::Recovery,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -64,6 +68,7 @@ impl Stage {
             Stage::Injection => "injection",
             Stage::StreamIndex => "stream_index",
             Stage::Gc => "gc",
+            Stage::Recovery => "recovery",
         }
     }
 

@@ -33,6 +33,10 @@ pub struct ResultSet {
     pub aggregates: Vec<Option<f64>>,
     /// With `GROUP BY`: per-row aggregate values, parallel to `rows`.
     pub group_aggregates: Vec<Vec<Option<f64>>>,
+    /// Nodes whose fork-join partitions never answered within the RPC
+    /// retry budget — their rows are missing (graceful degradation under
+    /// injected faults). Empty for complete answers.
+    pub unreachable_shards: Vec<u16>,
 }
 
 impl ResultSet {
@@ -296,6 +300,7 @@ pub fn finalize(
             rows,
             aggregates: Vec::new(),
             group_aggregates,
+            unreachable_shards: Vec::new(),
         };
     }
 
@@ -346,6 +351,7 @@ pub fn finalize(
         rows,
         aggregates,
         group_aggregates: Vec::new(),
+        unreachable_shards: Vec::new(),
     }
 }
 

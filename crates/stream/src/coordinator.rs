@@ -99,6 +99,14 @@ impl Coordinator {
         }
     }
 
+    /// Whether `node` already inserted `stream`'s batch at `ts` — the
+    /// per-node duplicate check of at-least-once delivery: a redelivered
+    /// batch must skip nodes whose local VTS already covers it, even
+    /// while another node's outage keeps the *stable* VTS below `ts`.
+    pub fn already_inserted(&self, node: usize, stream: usize, ts: Timestamp) -> bool {
+        ts > crate::vts::NEVER && self.local_vts[node].get(stream) >= ts
+    }
+
     /// The stable vector timestamp (continuous-query visibility).
     pub fn stable_vts(&self) -> &Vts {
         &self.stable_vts
@@ -183,6 +191,19 @@ mod tests {
         assert_eq!(c.stable_sn(), SnapshotId(1));
         c.on_batch_inserted(0, 1, 50);
         assert!(c.stable_sn() >= SnapshotId(2));
+    }
+
+    #[test]
+    fn already_inserted_tracks_local_not_stable() {
+        let mut c = Coordinator::new(2, vec![100], StalenessBound(1));
+        c.on_batch_inserted(0, 0, 100);
+        // Node 1 never reported: stable stalls at 0, but node 0 must
+        // still recognise a redelivery of batch 100.
+        assert_eq!(c.stable_vts().get(0), 0);
+        assert!(c.already_inserted(0, 0, 100));
+        assert!(!c.already_inserted(1, 0, 100));
+        // ts 0 is the NEVER sentinel, never "already inserted".
+        assert!(!c.already_inserted(0, 0, 0));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Checkpoint wire-format robustness: decoding is *total*. Arbitrary
+//! bytes, truncations, and single-byte corruptions must come back as a
+//! [`CheckpointError`] (or a benign reinterpretation) — never a panic,
+//! never an attacker-sized allocation.
+
+use proptest::prelude::*;
+use wukong_core::checkpoint::{Checkpoint, CheckpointError, LoggedBatch, LoggedQuery};
+use wukong_rdf::{Pid, StreamTuple, Triple, Vid};
+
+fn arb_query() -> impl Strategy<Value = LoggedQuery> {
+    (
+        proptest::collection::vec(32..127u8, 0..40),
+        proptest::option::of(0..8u16),
+    )
+        .prop_map(|(text, construct_target)| LoggedQuery {
+            text: String::from_utf8(text).expect("ascii"),
+            construct_target,
+        })
+}
+
+fn arb_batch() -> impl Strategy<Value = LoggedBatch> {
+    (
+        0..4u16,
+        0..10_000u64,
+        proptest::collection::vec((1..500u64, 1..8u64, 1..500u64, 0..10_000u64, 0..2u8), 0..12),
+    )
+        .prop_map(|(stream, timestamp, raw)| LoggedBatch {
+            stream,
+            timestamp,
+            tuples: raw
+                .into_iter()
+                .map(|(s, p, o, ts, kind)| {
+                    let t = Triple::new(Vid(s), Pid(p), Vid(o));
+                    if kind == 0 {
+                        StreamTuple::timeless(t, ts)
+                    } else {
+                        StreamTuple::timing(t, ts)
+                    }
+                })
+                .collect(),
+        })
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        // Rectangular local VTS: dims plus a flat pool of timestamps.
+        (0..4usize, 0..4usize),
+        proptest::collection::vec(0..5_000u64, 16),
+        proptest::collection::vec(arb_query(), 0..4),
+        proptest::collection::vec(arb_batch(), 0..5),
+    )
+        .prop_map(|((nodes, streams), pool, queries, batches)| Checkpoint {
+            local_vts: (0..nodes)
+                .map(|n| {
+                    (0..streams)
+                        .map(|s| pool[(n * streams + s) % pool.len()])
+                        .collect()
+                })
+                .collect(),
+            queries,
+            batches,
+        })
+}
+
+proptest! {
+    /// Any checkpoint the engine can produce survives the wire format.
+    #[test]
+    fn roundtrip_arbitrary(cp in arb_checkpoint()) {
+        prop_assert_eq!(Checkpoint::decode(&cp.encode()).as_ref(), Ok(&cp));
+    }
+
+    /// Decoding random garbage returns an error (or, in the astronomically
+    /// unlikely well-formed case, a value the format round-trips) — it
+    /// never panics.
+    #[test]
+    fn decode_random_bytes_is_total(bytes in proptest::collection::vec(0..=255u8, 0..200)) {
+        match Checkpoint::decode(&bytes) {
+            Err(_) => {}
+            Ok(cp) => prop_assert_eq!(Checkpoint::decode(&cp.encode()).as_ref(), Ok(&cp)),
+        }
+    }
+
+    /// Every strict prefix of a valid encoding is rejected: each section
+    /// guards its reads, so a crash mid-write can never decode.
+    #[test]
+    fn truncation_always_detected(cp in arb_checkpoint(), at in 0..100_000usize) {
+        let bytes = cp.encode();
+        let cut = at % bytes.len();
+        prop_assert!(Checkpoint::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Flip any single byte of a valid encoding: decode must return — a
+    /// header flip is detected by name, a payload flip may reinterpret,
+    /// but nothing panics or over-allocates.
+    #[test]
+    fn single_byte_corruption_is_total(
+        cp in arb_checkpoint(),
+        at in 0..100_000usize,
+        mask in 1..=255u8,
+    ) {
+        let mut bytes = cp.encode().to_vec();
+        let i = at % bytes.len();
+        bytes[i] ^= mask;
+        match Checkpoint::decode(&bytes) {
+            Err(e) => {
+                if i < 4 {
+                    prop_assert_eq!(e, CheckpointError::BadMagic);
+                }
+            }
+            Ok(d) => {
+                prop_assert!(i >= 5, "header corruption must not decode");
+                prop_assert_eq!(Checkpoint::decode(&d.encode()).as_ref(), Ok(&d));
+            }
+        }
+        if i == 4 {
+            prop_assert_eq!(
+                Checkpoint::decode(&bytes),
+                Err(CheckpointError::BadVersion(2 ^ mask))
+            );
+        }
+    }
+}
+
+/// A corrupt record count must fail as `Truncated` immediately, without
+/// first allocating count-many records.
+#[test]
+fn huge_counts_fail_fast_without_allocation() {
+    // magic, version, nodes=0, streams=0, then nq = u32::MAX.
+    let mut b = vec![0x57, 0x4b, 0x53, 0x43, 2, 0, 0, 0, 0];
+    b.extend_from_slice(&u32::MAX.to_be_bytes());
+    assert_eq!(Checkpoint::decode(&b), Err(CheckpointError::Truncated));
+
+    // Same with nq = 0 and nb = u32::MAX.
+    let mut b = vec![0x57, 0x4b, 0x53, 0x43, 2, 0, 0, 0, 0, 0, 0, 0, 0];
+    b.extend_from_slice(&u32::MAX.to_be_bytes());
+    assert_eq!(Checkpoint::decode(&b), Err(CheckpointError::Truncated));
+}
