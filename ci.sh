@@ -16,12 +16,20 @@ echo "== tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
 
+# Worker matrix: the parallel-equivalence suites must pass at both the
+# serial baseline and a wide pool, whatever the default happens to be.
+for workers in 1 4; do
+    echo "== worker matrix: WUKONG_WORKERS=$workers"
+    WUKONG_WORKERS=$workers cargo test -q -p wukong-bench \
+        --test differential --test integration_parallel
+done
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "== bench JSON smoke (tiny scale)"
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 2' "$out/table2.json"
+    grep -q '"schema_version": 3' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
 
     echo "== recovery drill smoke (tiny scale)"
@@ -29,6 +37,13 @@ if [[ "${1:-}" == "--quick" ]]; then
         --bin exp_recovery_drill -- --quick --json "$out/drill.json"
     grep -q '"all_match": 1' "$out/drill.json"
     echo "drill OK: $out/drill.json"
+
+    echo "== worker scaling smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_worker_scaling -- --quick --json "$out/scaling.json"
+    grep -q '"all_match": 1' "$out/scaling.json"
+    grep -q '"pool"' "$out/scaling.json"
+    echo "scaling OK: $out/scaling.json"
 fi
 
 echo "CI green"

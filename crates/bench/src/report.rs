@@ -5,26 +5,28 @@ use std::path::PathBuf;
 
 use wukong_core::metrics::LatencyRecorder;
 use wukong_core::{RecoveryReport, WukongS};
-use wukong_obs::{FaultSnapshot, HistogramSnapshot, Json, RegistrySnapshot};
+use wukong_obs::{FaultSnapshot, HistogramSnapshot, Json, PoolSnapshot, RegistrySnapshot};
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
 /// the document layout changes incompatibly.
 ///
 /// Version history: 1 = initial layout; 2 = added the `faults` and
 /// `recovery` top-level members (fault-injection counters and
-/// checkpoint-replay metrics).
-pub const JSON_SCHEMA_VERSION: u64 = 2;
+/// checkpoint-replay metrics); 3 = added the `pool` top-level member
+/// (worker-pool counters: regions, tasks, steals, queue depth, serial
+/// vs modeled busy time).
+pub const JSON_SCHEMA_VERSION: u64 = 3;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 2):
+/// Document layout (`schema_version` 3):
 ///
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
@@ -32,6 +34,8 @@ pub const JSON_SCHEMA_VERSION: u64 = 2;
 ///   "faults":     { "msgs_dropped", "retransmits", "rpc_timeouts", ... },
 ///   "recovery":   { "recovery_ms", "replayed_batches", "replayed_queries",
 ///                   "dedup_suppressed", "restored_stable_sn" },
+///   "pool":       { "tasks", "regions", "steals", "max_queue_depth",
+///                   "serial_busy_ns", "modeled_busy_ns", "region_wall_ns" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
@@ -41,7 +45,10 @@ pub const JSON_SCHEMA_VERSION: u64 = 2;
 ///
 /// `faults` carries every [`FaultSnapshot`] counter (all zero in a
 /// fault-free run); `recovery` stays an empty object unless the
-/// experiment performed a recovery and called [`BenchJson::recovery`].
+/// experiment performed a recovery and called [`BenchJson::recovery`];
+/// `pool` carries the worker-pool counters of the captured engine (all
+/// zero when every region ran on a single lane — see `wukong-net`'s
+/// `WorkerPool` for the modeled-time cost model).
 ///
 /// where every `{...}` stage/histogram entry carries
 /// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
@@ -121,6 +128,7 @@ impl BenchJson {
         doc.set("fabric", Json::object());
         doc.set("faults", Json::object());
         doc.set("recovery", Json::object());
+        doc.set("pool", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -176,6 +184,18 @@ impl BenchJson {
         *self.member("faults") = o;
     }
 
+    /// Records the worker-pool counters (usually an interval delta).
+    pub fn pool(&mut self, snap: &PoolSnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("pool") = o;
+    }
+
     /// Records a recovery's replay metrics.
     pub fn recovery(&mut self, r: &RecoveryReport) {
         if !self.active() {
@@ -218,6 +238,7 @@ impl BenchJson {
             self.counter(name, v);
         }
         self.faults(&engine.handle().fault_counters());
+        self.pool(&engine.handle().obs().pool().snapshot());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -265,14 +286,37 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
         assert_eq!(l1.get("p50").and_then(Json::as_f64), Some(2.0));
-        for key in ["counters", "fabric", "faults", "recovery", "stages"] {
+        for key in ["counters", "fabric", "faults", "recovery", "pool", "stages"] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn pool_section_round_trips() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let snap = PoolSnapshot {
+            tasks: 40,
+            regions: 5,
+            steals: 3,
+            max_queue_depth: 16,
+            serial_busy_ns: 1_000,
+            modeled_busy_ns: 300,
+            region_wall_ns: 1_200,
+        };
+        j.pool(&snap);
+        let p = j.document().get("pool").unwrap();
+        assert_eq!(p.get("tasks").and_then(Json::as_u64), Some(40));
+        assert_eq!(p.get("regions").and_then(Json::as_u64), Some(5));
+        assert_eq!(p.get("steals").and_then(Json::as_u64), Some(3));
+        assert_eq!(p.get("max_queue_depth").and_then(Json::as_u64), Some(16));
+        assert_eq!(p.get("serial_busy_ns").and_then(Json::as_u64), Some(1_000));
+        assert_eq!(p.get("modeled_busy_ns").and_then(Json::as_u64), Some(300));
+        assert_eq!(p.get("region_wall_ns").and_then(Json::as_u64), Some(1_200));
     }
 
     #[test]

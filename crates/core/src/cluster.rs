@@ -20,12 +20,17 @@ use crate::config::{EngineConfig, RpcPolicy};
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::Arc;
-use wukong_net::{Fabric, NodeId, TaskTimer};
+use wukong_net::{Fabric, NodeId, TaskTimer, WorkerPool};
 use wukong_rdf::{Key, StringServer, Triple, Vid};
 use wukong_store::{PersistentShard, ShardMap, SnapshotId, StreamIndex, TransientStore};
 use wukong_stream::StreamSchema;
 
 /// Per-stream cluster state.
+///
+/// The per-node vectors are guarded by per-node locks, so parallel
+/// ingest tasks — each confined to one node by its owner filter — never
+/// contend on (or even share) a lock: task `m` writes only
+/// `transients[m]` and `indexes[m]`.
 pub struct StreamState {
     /// The stream's schema (batch interval, timing predicates, …).
     pub schema: StreamSchema,
@@ -82,6 +87,10 @@ pub struct Cluster {
     pub replicate_indexes: bool,
     obs: Arc<wukong_obs::Registry>,
     rpc: RpcPolicy,
+    /// One worker pool per node (query firings, fork-join partitions,
+    /// ingest application). All pools record into the registry's shared
+    /// pool counters.
+    pools: Vec<WorkerPool>,
 }
 
 /// A cheap, cloneable handle onto a deployment's shared observability
@@ -134,6 +143,9 @@ impl Cluster {
         if let Some(plan) = &config.fault_plan {
             fabric.install_faults(plan.clone(), Arc::clone(obs.faults()));
         }
+        let pools = (0..config.nodes)
+            .map(|_| WorkerPool::new(config.worker_threads, Arc::clone(obs.pool())))
+            .collect();
         Cluster {
             shards: (0..config.nodes)
                 .map(|_| PersistentShard::new(config.partitions_per_shard))
@@ -146,6 +158,7 @@ impl Cluster {
             replicate_indexes: config.replicate_stream_indexes,
             obs,
             rpc: config.rpc,
+            pools,
         }
     }
 
@@ -182,6 +195,11 @@ impl Cluster {
     /// A node's shard.
     pub fn shard(&self, node: u16) -> &PersistentShard {
         &self.shards[node as usize]
+    }
+
+    /// A node's worker pool.
+    pub fn pool(&self, node: NodeId) -> &WorkerPool {
+        &self.pools[node.idx()]
     }
 
     /// The owner node of `key`.

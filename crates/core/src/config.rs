@@ -96,6 +96,12 @@ pub struct EngineConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Per-RPC deadline/retry/backoff policy for fork-join under faults.
     pub rpc: RpcPolicy,
+    /// Worker threads per node: the lanes of each node's `WorkerPool`,
+    /// shared by continuous-query firings, fork-join partitions, one-shot
+    /// batches, and per-node ingest application. Results are
+    /// deterministic-by-construction for any value (DESIGN.md §9).
+    /// Presets read `WUKONG_WORKERS` (default 1).
+    pub worker_threads: usize,
 }
 
 impl EngineConfig {
@@ -115,6 +121,27 @@ impl EngineConfig {
             cores_per_query: 1,
             fault_plan: None,
             rpc: RpcPolicy::default(),
+            worker_threads: Self::worker_threads_from_env(),
+        }
+    }
+
+    /// The `WUKONG_WORKERS` environment override for
+    /// [`EngineConfig::worker_threads`] (default 1, the paper's baseline
+    /// single worker per query). CI runs the whole test suite at 1 and 4
+    /// to prove thread-count equivalence.
+    pub fn worker_threads_from_env() -> usize {
+        std::env::var("WUKONG_WORKERS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    }
+
+    /// Returns this configuration with `worker_threads` set to `n`.
+    pub fn with_workers(self, n: usize) -> Self {
+        EngineConfig {
+            worker_threads: n.max(1),
+            ..self
         }
     }
 
@@ -150,6 +177,20 @@ mod tests {
         assert!(!t.network.one_sided_available);
         assert_eq!(t.exec_mode, ExecMode::ForkJoin);
         assert!(t.fault_plan.is_none());
+    }
+
+    #[test]
+    fn worker_threads_knob() {
+        // Presets default from the environment (1 unless WUKONG_WORKERS
+        // is set, in which case CI's matrix leg is in charge).
+        let c = EngineConfig::single_node();
+        assert!(c.worker_threads >= 1);
+        let c = EngineConfig::cluster(3).with_workers(4);
+        assert_eq!(c.worker_threads, 4);
+        assert_eq!(
+            EngineConfig::single_node().with_workers(0).worker_threads,
+            1
+        );
     }
 
     #[test]

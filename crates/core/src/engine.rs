@@ -408,68 +408,93 @@ impl WukongS {
         // events produce index-vertex updates that phase 2 routes to the
         // index key's owner (a triple's four key updates may live on
         // three different nodes).
+        //
+        // Dedup against each node's local VTS is a serial pre-pass (it
+        // reads coordinator state); the per-node application itself runs
+        // on the entry node's worker pool. Node ownership filters are
+        // disjoint, so concurrent sub-batch application touches disjoint
+        // shards, transient rings, and pending index updates — race-free
+        // by construction, identical receipts for any thread count.
         let merge = pl.merge_upto;
         let ts = batch.timestamp;
         let nodes = self.cluster.nodes();
-        let mut receipts: Vec<Vec<wukong_store::base::AppendReceipt>> = vec![Vec::new(); nodes];
-        let mut stats: Vec<InjectStats> = vec![InjectStats::default(); nodes];
-        let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
         for sub in &subs {
-            let node = sub.node;
-            if !delivered[node as usize] {
-                continue;
-            }
-            if pl.coordinator.already_inserted(node as usize, s, ts) {
+            let node = sub.node as usize;
+            if delivered[node] && pl.coordinator.already_inserted(node, s, ts) {
                 // Redelivered while another node's outage stalls the
                 // stable VTS: this node already holds the batch.
                 self.cluster.obs().faults().inc_dedup_suppressed();
-                delivered[node as usize] = false;
-                continue;
+                delivered[node] = false;
             }
-            let owns = |k: wukong_rdf::Key| self.cluster.shard_map().node_of_key(k) == node;
-            let shard = self.cluster.shard(node);
-            let t0 = std::time::Instant::now();
-            for t in sub.tuples.iter().filter(|t| t.is_timeless()) {
-                let tr = t.triple;
-                let out_key = tr.out_key();
-                if owns(out_key) {
-                    shard.count_triple();
-                    stats[node as usize].timeless += 1;
-                    let (off, first) = shard.append_owned(out_key, tr.o, sn, merge);
-                    receipts[node as usize].push(wukong_store::base::AppendReceipt {
-                        key: out_key,
-                        offset: off,
-                    });
-                    if first {
-                        index_updates
-                            .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::Out), tr.s));
+        }
+        let applied = self.cluster.pool(entry).map(
+            subs.iter().collect::<Vec<&wukong_stream::SubBatch>>(),
+            |_, sub| {
+                let node = sub.node;
+                if !delivered[node as usize] {
+                    return None;
+                }
+                let owns = self.cluster.shard_map().owner_filter(node);
+                let shard = self.cluster.shard(node);
+                let mut receipts: Vec<wukong_store::base::AppendReceipt> = Vec::new();
+                let mut stats = InjectStats::default();
+                let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
+                let t0 = std::time::Instant::now();
+                for t in sub.tuples.iter().filter(|t| t.is_timeless()) {
+                    let tr = t.triple;
+                    let out_key = tr.out_key();
+                    if owns(out_key) {
+                        shard.count_triple();
+                        stats.timeless += 1;
+                        let (off, first) = shard.append_owned(out_key, tr.o, sn, merge);
+                        receipts.push(wukong_store::base::AppendReceipt {
+                            key: out_key,
+                            offset: off,
+                        });
+                        if first {
+                            index_updates
+                                .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::Out), tr.s));
+                        }
+                    }
+                    let in_key = tr.in_key();
+                    if owns(in_key) {
+                        let (off, first) = shard.append_owned(in_key, tr.s, sn, merge);
+                        receipts.push(wukong_store::base::AppendReceipt {
+                            key: in_key,
+                            offset: off,
+                        });
+                        if first {
+                            index_updates
+                                .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::In), tr.o));
+                        }
                     }
                 }
-                let in_key = tr.in_key();
-                if owns(in_key) {
-                    let (off, first) = shard.append_owned(in_key, tr.s, sn, merge);
-                    receipts[node as usize].push(wukong_store::base::AppendReceipt {
-                        key: in_key,
-                        offset: off,
-                    });
-                    if first {
-                        index_updates
-                            .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::In), tr.o));
-                    }
-                }
+                // Timing tuples into the transient ring (owned entries
+                // only). Only this task writes this node's ring.
+                let timing: Vec<wukong_rdf::StreamTuple> = sub
+                    .tuples
+                    .iter()
+                    .filter(|t| !t.is_timeless())
+                    .copied()
+                    .collect();
+                stats.timing += timing.len();
+                stream.transients[node as usize].write().push_batch(
+                    wukong_store::TransientSlice::from_batch_filtered(ts, &timing, &owns),
+                );
+                stats.inject_ns += t0.elapsed().as_nanos() as u64;
+                Some((receipts, stats, index_updates))
+            },
+        );
+        let mut receipts: Vec<Vec<wukong_store::base::AppendReceipt>> = vec![Vec::new(); nodes];
+        let mut stats: Vec<InjectStats> = vec![InjectStats::default(); nodes];
+        let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
+        for (sub, applied) in subs.iter().zip(applied) {
+            if let Some((rc, st, iu)) = applied {
+                let node = sub.node as usize;
+                receipts[node] = rc;
+                stats[node] = st;
+                index_updates.extend(iu);
             }
-            // Timing tuples into the transient ring (owned entries only).
-            let timing: Vec<wukong_rdf::StreamTuple> = sub
-                .tuples
-                .iter()
-                .filter(|t| !t.is_timeless())
-                .copied()
-                .collect();
-            stats[node as usize].timing += timing.len();
-            stream.transients[node as usize].write().push_batch(
-                wukong_store::TransientSlice::from_batch_filtered(ts, &timing, owns),
-            );
-            stats[node as usize].inject_ns += t0.elapsed().as_nanos() as u64;
         }
 
         // Phase 2: apply index-vertex updates on their owners. An owner
@@ -747,8 +772,12 @@ impl WukongS {
         NodeId((self.next_home.fetch_add(1, Ordering::Relaxed) % self.cluster.nodes()) as u16)
     }
 
-    fn context_for(&self, instances: &[(usize, Timestamp, Timestamp)]) -> ExecContext {
-        let sn = self.pipeline.lock().coordinator.stable_sn();
+    /// Builds an execution context from a pre-taken visibility snapshot —
+    /// lock-free, so pool workers never touch the pipeline lock.
+    fn context_at(
+        sn: wukong_store::SnapshotId,
+        instances: &[(usize, Timestamp, Timestamp)],
+    ) -> ExecContext {
         ExecContext {
             sn,
             windows: instances
@@ -814,19 +843,34 @@ impl WukongS {
         }
     }
 
-    /// Executes a registered query over `instances`, measuring window
-    /// extraction (context + plan) inside the end-to-end timer and
-    /// recording the staged trace under `class` in the obs registry.
+    /// Executes a registered query over `instances` at the current stable
+    /// snapshot (taken under the pipeline lock).
     fn execute_instances(
         &self,
         r: &Registered,
         class: &str,
         instances: &[(usize, Timestamp, Timestamp)],
     ) -> (ResultSet, f64, StageTrace) {
+        let sn = self.pipeline.lock().coordinator.stable_sn();
+        self.execute_instances_at(r, class, instances, sn)
+    }
+
+    /// Executes a registered query over `instances` at snapshot `sn`,
+    /// measuring window extraction (context + plan) inside the end-to-end
+    /// timer and recording the staged trace under `class` in the obs
+    /// registry. Safe to call from pool workers: everything it reads is
+    /// either the pre-taken snapshot or interior-locked cluster state.
+    fn execute_instances_at(
+        &self,
+        r: &Registered,
+        class: &str,
+        instances: &[(usize, Timestamp, Timestamp)],
+        sn: wukong_store::SnapshotId,
+    ) -> (ResultSet, f64, StageTrace) {
         let mut timer = TaskTimer::start();
         let mut trace = StageTrace::new();
         let t0 = timer.total_ns();
-        let ctx = self.context_for(instances);
+        let ctx = Self::context_at(sn, instances);
         let plan = self.plan_for(r, &ctx);
         trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
         let results = self.run_traced(&r.query, &plan, &ctx, r.home, &mut timer, &mut trace);
@@ -844,10 +888,17 @@ impl WukongS {
 
     /// Fires every continuous query whose next windows are covered by the
     /// stable VTS — the data-driven execution model (§4.3).
+    ///
+    /// Queries fire in registration order (CONSTRUCT-derived data feeds
+    /// downstream consumers deterministically), but one query's batch of
+    /// ready windows executes *in parallel* on its home node's worker
+    /// pool, all against the same visibility snapshot. Firing order,
+    /// result rows, and CONSTRUCT emissions are identical for any
+    /// `worker_threads` value (DESIGN.md §9).
     pub fn fire_ready(&self) -> Vec<Firing> {
-        let stable = {
+        let (stable, sn) = {
             let pl = self.pipeline.lock();
-            pl.coordinator.stable_vts().clone()
+            pl.coordinator.visibility()
         };
         let registry: Vec<Arc<Registered>> = self.registry.read().clone();
         let mut out = Vec::new();
@@ -855,16 +906,29 @@ impl WukongS {
             if r.retired.load(Ordering::Relaxed) {
                 continue;
             }
-            loop {
-                let instances = {
-                    let mut w = r.window.lock();
-                    if !w.ready(&stable) {
-                        break;
-                    }
-                    w.fire()
-                };
-                let class = Self::query_class(r, id);
-                let (results, latency_ms, stages) = self.execute_instances(r, &class, &instances);
+            // Gather every window batch this query can fire at the
+            // snapshot, then execute the batch on the pool. Serialized
+            // window advancement + deterministic pool merge means the
+            // firing sequence is schedule-independent.
+            let batch: Vec<Vec<(usize, Timestamp, Timestamp)>> = {
+                let mut w = r.window.lock();
+                let mut b = Vec::new();
+                while w.ready(&stable) {
+                    b.push(w.fire());
+                }
+                b
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            let class = Self::query_class(r, id);
+            let executed = self.cluster.pool(r.home).map(batch, |_, instances| {
+                let run = self.execute_instances_at(r, &class, &instances, sn);
+                (instances, run)
+            });
+            // CONSTRUCT feeding and firing emission stay serialized on
+            // the coordinator side, in window order.
+            for (instances, (results, latency_ms, stages)) in executed {
                 let window_end = instances.first().map(|i| i.2).unwrap_or(0);
                 // CONSTRUCT firings feed their derived stream with
                 // IStream semantics: only rows new relative to the
@@ -1004,6 +1068,18 @@ impl WukongS {
         let class = query.name.clone().unwrap_or_else(|| "one-shot".to_string());
         self.cluster.obs().record_query(&class, &trace, total_ns);
         Ok((results, total_ns as f64 / 1e6))
+    }
+
+    /// Runs a batch of independent one-shot queries on node 0's worker
+    /// pool. Each query takes its own visibility snapshot exactly as
+    /// [`WukongS::one_shot`] does, but with no stream batches arriving
+    /// between queries (the caller holds the timeline) every member sees
+    /// the same stable SN, and the result vector is ordered like `texts`
+    /// regardless of `worker_threads`.
+    pub fn one_shot_batch(&self, texts: &[&str]) -> Vec<Result<(ResultSet, f64), QueryError>> {
+        self.cluster
+            .pool(NodeId(0))
+            .map(texts.to_vec(), |_, text| self.one_shot(text))
     }
 
     /// The stable snapshot number (what one-shot queries read).

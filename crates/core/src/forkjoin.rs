@@ -167,15 +167,64 @@ fn partitioned_step(
     }
 
     let faulty = cluster.fabric().faults_enabled();
-    let endpoints = faulty.then(|| cluster.fabric().endpoints::<u64>());
     let policy = cluster.rpc_policy();
-
-    // Fork: run each non-empty partition on its owning node. Partitions
-    // execute sequentially here (the host may have a single core), but a
-    // real fork-join runs them in parallel: each partition's real time is
-    // measured, the *maximum* per-partition latency is charged, and the
-    // sequential sum is excluded from the outer timer.
     let mut joined = BindingTable::empty(input.width());
+
+    // Fork: run each non-empty partition on its owning node.
+    //
+    // Fault-free, the partitions execute on the home node's worker pool
+    // (really concurrent when `worker_threads` > 1) and join back in
+    // node order — the merge order, and therefore the result, is
+    // identical for any pool width. Cost stays modelled either way: the
+    // region's real time is excluded and the *maximum* per-partition
+    // latency charged, since a real fork-join waits only for its slowest
+    // partition.
+    if !faulty {
+        let work: Vec<(usize, &BindingTable)> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        let region = std::time::Instant::now();
+        let executed = cluster.pool(home).map(work, |_, (n, part)| {
+            let node = NodeId(n as u16);
+            let access = NodeAccess::new(cluster, node);
+            let started = std::time::Instant::now();
+            let mut sub_timer = TaskTimer::start();
+            let out = execute_step(step, part, ctx, &access, &mut sub_timer);
+            let real = started.elapsed().as_nanos() as u64;
+            // A partition's rows split across the node's per-query worker
+            // cores (§6.4); messaging is not divisible.
+            let c = cores.max(1).min(part.len().max(1)) as u64;
+            let mut hop = (real + sub_timer.charged_ns()) / c;
+            if node != home {
+                let mut hop_timer = TaskTimer::start();
+                cluster
+                    .fabric()
+                    .charge_message(home, node, part.wire_bytes(), &mut hop_timer);
+                cluster
+                    .fabric()
+                    .charge_message(node, home, out.wire_bytes(), &mut hop_timer);
+                hop += hop_timer.charged_ns();
+            }
+            (out, hop)
+        });
+        let mut max_hop = 0u64;
+        for (out, hop) in executed {
+            max_hop = max_hop.max(hop);
+            for row in out.iter() {
+                joined.push_row(row);
+            }
+        }
+        timer.exclude(region.elapsed().as_nanos() as u64);
+        timer.charge(max_hop);
+        return joined;
+    }
+
+    // Under an installed fault plan remote partitions go through the
+    // deadline-bounded RPC path, which owns the outer timer (per-attempt
+    // waits, exclusions) — they stay sequential.
+    let endpoints = cluster.fabric().endpoints::<u64>();
     let mut max_hop = 0u64;
     let mut sequential_real = 0u64;
     for (n, part) in parts.iter().enumerate() {
@@ -184,31 +233,29 @@ fn partitioned_step(
         }
         let node = NodeId(n as u16);
         if node != home {
-            if let Some(eps) = &endpoints {
-                let (out, hop) = rpc_partition(
-                    step,
-                    part,
-                    ctx,
-                    cluster,
-                    home,
-                    node,
-                    cores,
-                    &policy,
-                    eps,
-                    timer,
-                    &mut sequential_real,
-                );
-                max_hop = max_hop.max(hop);
-                match out {
-                    Some(out) => {
-                        for row in out.iter() {
-                            joined.push_row(row);
-                        }
+            let (out, hop) = rpc_partition(
+                step,
+                part,
+                ctx,
+                cluster,
+                home,
+                node,
+                cores,
+                &policy,
+                &endpoints,
+                timer,
+                &mut sequential_real,
+            );
+            max_hop = max_hop.max(hop);
+            match out {
+                Some(out) => {
+                    for row in out.iter() {
+                        joined.push_row(row);
                     }
-                    None => tally.unreachable.push(n as u16),
                 }
-                continue;
+                None => tally.unreachable.push(n as u16),
             }
+            continue;
         }
         let access = NodeAccess::new(cluster, node);
         let started = std::time::Instant::now();
@@ -216,20 +263,8 @@ fn partitioned_step(
         let out = execute_step(step, part, ctx, &access, &mut sub_timer);
         let real = started.elapsed().as_nanos() as u64;
         sequential_real += real;
-        // A partition's rows split across the node's per-query worker
-        // cores (§6.4); messaging is not divisible.
         let c = cores.max(1).min(part.len().max(1)) as u64;
-        let mut hop = (real + sub_timer.charged_ns()) / c;
-        if node != home {
-            let mut hop_timer = TaskTimer::start();
-            cluster
-                .fabric()
-                .charge_message(home, node, part.wire_bytes(), &mut hop_timer);
-            cluster
-                .fabric()
-                .charge_message(node, home, out.wire_bytes(), &mut hop_timer);
-            hop += hop_timer.charged_ns();
-        }
+        let hop = (real + sub_timer.charged_ns()) / c;
         max_hop = max_hop.max(hop);
         for row in out.iter() {
             joined.push_row(row);
@@ -448,6 +483,51 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_plans_agree_across_executors() {
+        // Single-pattern (no join), fully-constant first pattern
+        // (existence filter), and empty-OPTIONAL queries must produce the
+        // same rows in-place and fork-join.
+        let cluster = Cluster::new(&EngineConfig::cluster(4));
+        load_follow_graph(&cluster, 32);
+        let ss = cluster.strings();
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        for (text, expect) in [
+            // One pattern, nothing to join.
+            ("SELECT ?X WHERE { u0 fo ?X }", 1),
+            // First pattern binds zero variables and holds.
+            ("SELECT ?X WHERE { u0 fo u1 . u0 po ?X }", 1),
+            // First pattern binds zero variables and fails: existence
+            // filter kills every row.
+            ("SELECT ?X WHERE { u0 fo u5 . u0 po ?X }", 0),
+            // Empty OPTIONAL is inert.
+            ("SELECT ?X WHERE { u0 po ?X OPTIONAL { } }", 1),
+        ] {
+            let q = parse_query(ss, text).unwrap();
+            let access = NodeAccess::new(&cluster, NodeId(0));
+            let plan = plan_query(&q, &access, &ctx);
+            let mut t1 = TaskTimer::start();
+            let inplace = wukong_query::execute(&q, &plan, &ctx, &access, &NoLiterals, &mut t1);
+            let mut t2 = TaskTimer::start();
+            let forked = execute_forkjoin(
+                &q,
+                &plan,
+                &ctx,
+                &cluster,
+                NodeId(0),
+                1,
+                &NoLiterals,
+                &mut t2,
+            );
+            assert_eq!(inplace.rows.len(), expect, "{text}");
+            let mut a = inplace.rows.clone();
+            let mut b = forked.rows.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{text}");
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod fabric;
 pub mod fault;
 pub mod message;
 pub mod metrics;
+pub mod pool;
 pub mod profile;
 
 pub use clock::TaskTimer;
@@ -40,4 +41,5 @@ pub use fabric::{Endpoint, Fabric, NodeDown, NodeId};
 pub use fault::{Delivery, FaultEvent, FaultPlan, FaultState, LinkFault, ScheduledEvent};
 pub use message::Envelope;
 pub use metrics::{FabricMetrics, MetricsSnapshot};
+pub use pool::WorkerPool;
 pub use profile::NetworkProfile;

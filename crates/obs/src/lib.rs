@@ -24,11 +24,13 @@
 pub mod faults;
 pub mod histogram;
 pub mod json;
+pub mod pool;
 pub mod registry;
 pub mod stage;
 
 pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use json::Json;
+pub use pool::{PoolCounters, PoolSnapshot};
 pub use registry::{Registry, RegistrySnapshot, SeriesSnapshot};
 pub use stage::{Stage, StageTrace};

@@ -17,6 +17,7 @@ use parking_lot::RwLock;
 
 use crate::faults::FaultCounters;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::pool::PoolCounters;
 use crate::stage::{Stage, StageTrace};
 
 /// Per-stage histograms for one keyed series, plus an end-to-end
@@ -33,6 +34,7 @@ pub struct Registry {
     queries: RwLock<BTreeMap<String, Arc<RwLock<Series>>>>,
     streams: RwLock<BTreeMap<String, Arc<RwLock<Series>>>>,
     faults: Arc<FaultCounters>,
+    pool: Arc<PoolCounters>,
 }
 
 fn series_for(
@@ -96,6 +98,12 @@ impl Registry {
     /// and the recovery path both record here.
     pub fn faults(&self) -> &Arc<FaultCounters> {
         &self.faults
+    }
+
+    /// The shared worker-pool counters; every node's `WorkerPool`
+    /// records its parallel regions here.
+    pub fn pool(&self) -> &Arc<PoolCounters> {
+        &self.pool
     }
 
     /// Point-in-time copy of every keyed series.

@@ -848,6 +848,30 @@ mod tests {
     }
 
     #[test]
+    fn empty_optional_block_parses_as_inert() {
+        // `OPTIONAL { }` is legal SPARQL and must not reject the query or
+        // leave a phantom pattern behind: execution treats it as absent.
+        let ss = ss();
+        let q = parse_query(&ss, "SELECT ?X WHERE { Logan po ?X OPTIONAL { } }").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        assert!(q.optional.is_empty());
+        // An empty required group is still an error — there is nothing
+        // to match.
+        assert!(parse_query(&ss, "SELECT ?X WHERE { OPTIONAL { ?X q ?Y } }").is_err());
+    }
+
+    #[test]
+    fn fully_constant_patterns_parse() {
+        // A pattern binding zero variables is an existence assertion; the
+        // parser must keep it (the executor turns it into a row filter).
+        let ss = ss();
+        let q = parse_query(&ss, "SELECT ?X WHERE { Logan fo Erik . Logan po ?X }").unwrap();
+        assert_eq!(q.patterns.len(), 2);
+        assert!(matches!(q.patterns[0].s, Term::Const(_)));
+        assert!(matches!(q.patterns[0].o, Term::Const(_)));
+    }
+
+    #[test]
     fn not_exists_parses_and_validates() {
         let ss = ss();
         let q = parse_query(

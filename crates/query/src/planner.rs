@@ -209,6 +209,51 @@ mod tests {
     }
 
     #[test]
+    fn single_pattern_plan_needs_no_join() {
+        // Degenerate but legal: one pattern, nothing to order against.
+        let ss = StringServer::new();
+        let q = parse_query(&ss, "SELECT ?X WHERE { Logan po ?X }").unwrap();
+        let oracle = FixedOracle {
+            estimates: HashMap::new(),
+            default: 7,
+        };
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let plan = plan_query(&q, &oracle, &ctx);
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.steps[0].mode, StepMode::FromSubject);
+        assert!(!plan.has_index_scan());
+    }
+
+    #[test]
+    fn zero_binding_first_step_still_connects_the_rest() {
+        // A fully-constant pattern binds no variables. When the planner
+        // picks it first (it is the cheapest concrete anchor), the
+        // remaining patterns must still plan as connected steps — the
+        // "connected" preference keys off concrete anchors, not off
+        // newly-bound variables.
+        let ss = StringServer::new();
+        let q = parse_query(&ss, "SELECT ?X WHERE { Logan fo Erik . ?Y po ?X }").unwrap();
+        let logan = ss.entity_id("Logan").unwrap();
+        let fo = ss.predicate_id("fo").unwrap();
+        let mut estimates = HashMap::new();
+        estimates.insert(Key::new(logan, fo, Dir::Out), 1);
+        let oracle = FixedOracle {
+            estimates,
+            default: 50,
+        };
+        let ctx = ExecContext::stored(SnapshotId::BASE);
+        let plan = plan_query(&q, &oracle, &ctx);
+        assert_eq!(plan.steps.len(), 2);
+        // The existence check anchors first and binds nothing.
+        assert_eq!(plan.steps[0].pattern.p, fo);
+        assert!(plan.steps[0].pattern.s.var().is_none());
+        assert!(plan.steps[0].pattern.o.var().is_none());
+        // The disconnected remainder falls back to an index scan rather
+        // than anchoring on an unbound variable.
+        assert_eq!(plan.steps[1].mode, StepMode::IndexScan);
+    }
+
+    #[test]
     fn plan_covers_all_patterns_and_sources() {
         let ss = StringServer::new();
         let q = parse_query(

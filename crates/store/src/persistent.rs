@@ -319,6 +319,55 @@ mod tests {
     }
 
     #[test]
+    fn disjoint_owner_filtered_appends_match_serial() {
+        use crate::sharding::ShardMap;
+        use std::sync::Arc;
+        // The parallel-ingest contract: worker tasks apply owner-disjoint
+        // key sets through `append_owned(&self)` concurrently, and every
+        // key's list comes out exactly as a serial application — each key
+        // is written by one task only, in that task's order.
+        let triples: Vec<Triple> = (0..200u64)
+            .map(|i| t(i % 50 + 1, i % 5 + 1, i + 2))
+            .collect();
+        let serial = PersistentShard::new(8);
+        for &tr in &triples {
+            serial.append_owned(tr.out_key(), tr.o, SnapshotId(1), None);
+            serial.append_owned(tr.in_key(), tr.s, SnapshotId(1), None);
+        }
+        let shard = Arc::new(PersistentShard::new(8));
+        let handles: Vec<_> = (0..4u16)
+            .map(|n| {
+                let shard = Arc::clone(&shard);
+                let triples = triples.clone();
+                std::thread::spawn(move || {
+                    let map = ShardMap::new(4);
+                    let owns = map.owner_filter(n);
+                    for tr in triples {
+                        if owns(tr.out_key()) {
+                            shard.append_owned(tr.out_key(), tr.o, SnapshotId(1), None);
+                        }
+                        if owns(tr.in_key()) {
+                            shard.append_owned(tr.in_key(), tr.s, SnapshotId(1), None);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for &tr in &triples {
+            for key in [tr.out_key(), tr.in_key()] {
+                assert_eq!(
+                    shard.neighbors_at(key, SnapshotId(1)),
+                    serial.neighbors_at(key, SnapshotId(1)),
+                    "{key:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn consolidation_bounds_snapshots() {
         let shard = PersistentShard::new(2);
         for sn in 1..=5u64 {

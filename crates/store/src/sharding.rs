@@ -50,6 +50,15 @@ impl ShardMap {
         }
     }
 
+    /// A predicate testing whether `node` owns a key — the per-node
+    /// ownership filter each parallel ingest task applies to its
+    /// sub-batch. Two different nodes' filters are disjoint (a key has
+    /// exactly one owner), which is what makes concurrent per-node
+    /// application race-free by construction.
+    pub fn owner_filter(&self, node: u16) -> impl Fn(Key) -> bool + '_ {
+        move |k| self.node_of_key(k) == node
+    }
+
     /// The nodes a triple's four potential key updates land on.
     ///
     /// Injection must route one triple to every node that owns one of its
@@ -127,5 +136,20 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = ShardMap::new(0);
+    }
+
+    #[test]
+    fn owner_filters_partition_the_key_space() {
+        let m = ShardMap::new(4);
+        let filters: Vec<_> = (0..4).map(|n| m.owner_filter(n)).collect();
+        for i in 0..500 {
+            for key in [
+                Key::new(Vid(i), Pid(i % 7), Dir::Out),
+                Key::index(Pid(i % 7), Dir::In),
+            ] {
+                let owners = filters.iter().filter(|f| f(key)).count();
+                assert_eq!(owners, 1, "every key has exactly one owner");
+            }
+        }
     }
 }

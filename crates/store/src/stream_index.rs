@@ -251,6 +251,44 @@ mod tests {
     }
 
     #[test]
+    fn owner_partitioned_batches_cover_the_global_build() {
+        use crate::sharding::ShardMap;
+        // Parallel ingest builds one IndexBatch per node from that node's
+        // own receipts. Per-node batches must be key-disjoint and, taken
+        // together, reproduce the single batch a serial injector would
+        // have built from the concatenated receipts.
+        let receipts: Vec<AppendReceipt> = (0..120u64)
+            .map(|i| AppendReceipt {
+                key: Key::new(
+                    Vid(i % 17 + 1),
+                    Pid(i % 5 + 1),
+                    if i % 2 == 0 { Dir::Out } else { Dir::In },
+                ),
+                offset: (i / 17) as u32,
+            })
+            .collect();
+        let global = IndexBatch::from_receipts(900, &receipts);
+        let map = ShardMap::new(4);
+        let per_node: Vec<IndexBatch> = (0..4u16)
+            .map(|n| {
+                let owns = map.owner_filter(n);
+                let rc: Vec<AppendReceipt> =
+                    receipts.iter().filter(|r| owns(r.key)).copied().collect();
+                IndexBatch::from_receipts(900, &rc)
+            })
+            .collect();
+        assert_eq!(
+            per_node.iter().map(IndexBatch::entry_count).sum::<usize>(),
+            global.entry_count(),
+            "node batches must be key-disjoint and jointly complete"
+        );
+        global.for_each_key(|k| {
+            let node = map.node_of_key(k) as usize;
+            assert_eq!(per_node[node].get(k), global.get(k), "{k:?}");
+        });
+    }
+
+    #[test]
     fn fig8_window_lookup() {
         // Fig. 8: likes of T-15(7) arrive at 0806 (Erik,Tony,Bruce), 0810
         // (Clint,Steve) and 0812 (Thor). A window [0807, 0811] must return

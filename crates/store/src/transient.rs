@@ -223,6 +223,42 @@ mod tests {
     }
 
     #[test]
+    fn owner_filtered_slices_partition_the_batch() {
+        use crate::sharding::ShardMap;
+        // Parallel ingest gives each node's task its own owner-filtered
+        // slice. For every key, exactly one node's slice carries it, and
+        // it carries exactly the unfiltered slice's neighbour list — so
+        // per-node slices built concurrently are equivalent to one serial
+        // full build, just sharded.
+        let batch: Vec<_> = (0..64u64)
+            .map(|i| timing(i % 13 + 1, i % 4 + 1, 200 + i % 9, 500))
+            .collect();
+        let full = TransientSlice::from_batch(500, &batch);
+        let map = ShardMap::new(4);
+        let shards: Vec<_> = (0..4u16)
+            .map(|n| TransientSlice::from_batch_filtered(500, &batch, map.owner_filter(n)))
+            .collect();
+        let mut keys: Vec<Key> = Vec::new();
+        for t in &batch {
+            keys.push(t.triple.out_key());
+            keys.push(t.triple.in_key());
+            keys.push(Key::index(t.triple.p, wukong_rdf::Dir::Out));
+            keys.push(Key::index(t.triple.p, wukong_rdf::Dir::In));
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let holders: Vec<&TransientSlice> = shards
+                .iter()
+                .filter(|s| !s.neighbors(key).is_empty())
+                .collect();
+            assert!(holders.len() <= 1, "{key:?} held by more than one node");
+            let merged = holders.first().map(|s| s.neighbors(key)).unwrap_or(&[]);
+            assert_eq!(merged, full.neighbors(key), "{key:?}");
+        }
+    }
+
+    #[test]
     fn window_lookup_covers_range_inclusive() {
         let mut st = TransientStore::new(1 << 20);
         for ts in [100, 200, 300, 400] {

@@ -112,6 +112,13 @@ impl Coordinator {
         &self.stable_vts
     }
 
+    /// The stable VTS and stable SN as one atomic pair — the visibility
+    /// snapshot parallel firing takes *once* per round, so worker tasks
+    /// read no coordinator state (and cannot observe it mid-update).
+    pub fn visibility(&self) -> (Vts, SnapshotId) {
+        (self.stable_vts.clone(), self.planner.stable_sn())
+    }
+
     /// A node's local vector timestamp.
     pub fn local_vts(&self, node: usize) -> &Vts {
         &self.local_vts[node]

@@ -13,7 +13,12 @@
 //!   heavily-filtered properties see fewer effective cases;
 //! - generation is driven by a deterministic per-test SplitMix64 RNG
 //!   (override the seed with `PROPTEST_SEED`, the case count with
-//!   `PROPTEST_CASES`).
+//!   `PROPTEST_CASES`);
+//! - `.proptest-regressions` entries are `cc <u64>` RNG states (the
+//!   shim's own format), not upstream's 256-bit seeds. A failing case
+//!   prints the `cc` line to persist; the file is read before novel
+//!   cases are generated, exactly like upstream, but never auto-written
+//!   — committing an entry is a deliberate act (see DESIGN.md §9).
 
 use std::ops::{Range, RangeInclusive};
 
@@ -50,6 +55,12 @@ impl TestRng {
         Self::from_seed(h)
     }
 
+    /// The current RNG state. Captured at the start of each case so a
+    /// failure can be replayed exactly with `from_seed(state)`.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
@@ -72,6 +83,67 @@ impl TestRng {
     /// True with probability `num/den`.
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
         self.below(den) < num
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression persistence
+// ---------------------------------------------------------------------------
+
+/// Locates the committed `.proptest-regressions` file for a test source.
+///
+/// `source_file` is the caller's `file!()` — a path rustc received, which
+/// cargo makes relative to the *workspace* root (for this workspace's
+/// integration tests it looks like `crates/bench/../../tests/props.rs`).
+/// The test binary's working directory is the *package* root, so the
+/// path is tried against the cwd and against `manifest_dir` plus up to
+/// two parent hops; the first candidate that exists wins.
+pub fn regressions_path(source_file: &str, manifest_dir: &str) -> Option<std::path::PathBuf> {
+    let rel = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    let bases = [
+        std::path::PathBuf::new(),
+        std::path::PathBuf::from(manifest_dir),
+        std::path::Path::new(manifest_dir).join(".."),
+        std::path::Path::new(manifest_dir).join("../.."),
+    ];
+    bases.iter().map(|b| b.join(&rel)).find(|p| p.is_file())
+}
+
+/// Parses `cc <u64>` entries out of a regression file's text. Comments,
+/// blanks, and entries in any other format (e.g. upstream proptest's
+/// 256-bit hex seeds, which the shim cannot replay) are skipped.
+pub fn parse_regressions(text: &str) -> Vec<u64> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let rest = line.strip_prefix("cc ")?;
+            rest.split_whitespace().next()?.parse::<u64>().ok()
+        })
+        .collect()
+}
+
+/// The persisted failure seeds for a test source file, replayed by
+/// `proptest!` before any novel case is generated.
+pub fn persisted_seeds(source_file: &str, manifest_dir: &str) -> Vec<u64> {
+    regressions_path(source_file, manifest_dir)
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .map(|text| parse_regressions(&text))
+        .unwrap_or_default()
+}
+
+#[doc(hidden)]
+pub fn __run_case<F: FnMut()>(source_file: &str, seed: u64, mut case: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut case));
+    if let Err(payload) = result {
+        eprintln!(
+            "proptest shim: case failed; replay it by adding the line\n\
+             cc {seed}\n\
+             to {}",
+            std::path::Path::new(source_file)
+                .with_extension("proptest-regressions")
+                .display()
+        );
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -520,15 +592,21 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::TestRng::for_test(stringify!($name));
             let __strategies = ( $( $strat, )+ );
+            let mut __one_case = |__rng: &mut $crate::TestRng| {
+                let ( $($arg,)+ ) = $crate::Strategy::generate(&__strategies, __rng);
+                $body
+            };
+            // Committed failure seeds replay before any novel case.
+            for __seed in $crate::persisted_seeds(file!(), env!("CARGO_MANIFEST_DIR")) {
+                let mut __rng = $crate::TestRng::from_seed(__seed);
+                $crate::__run_case(file!(), __seed, || __one_case(&mut __rng));
+            }
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
             for __case in 0..__config.cases {
                 let _ = __case;
-                let mut __one_case = || {
-                    let ( $($arg,)+ ) = $crate::Strategy::generate(&__strategies, &mut __rng);
-                    $body
-                };
-                __one_case();
+                let __seed = __rng.state();
+                $crate::__run_case(file!(), __seed, || __one_case(&mut __rng));
             }
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
@@ -628,6 +706,34 @@ mod tests {
             saw_n |= v.starts_with('n');
         }
         assert!(saw_a && saw_n);
+    }
+
+    #[test]
+    fn regression_parsing_skips_foreign_formats() {
+        let text = "\
+# comment line
+cc 12345 # shrinks to x = 3
+
+cc dc6ae8a402830889320ffb6a3639fa9a56ce520f1d987863f8ce23506199195c # upstream sha format
+  cc 42
+not an entry
+";
+        assert_eq!(crate::parse_regressions(text), vec![12345, 42]);
+    }
+
+    #[test]
+    fn replayed_seed_reproduces_the_case_exactly() {
+        let mut a = TestRng::from_seed(7);
+        // Burn a few cases, then capture the state a failing case would
+        // persist and check from_seed regenerates the same values.
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let seed = a.state();
+        let vals: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let mut b = TestRng::from_seed(seed);
+        let replayed: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(vals, replayed);
     }
 
     proptest! {

@@ -12,6 +12,18 @@ fn arb_triple() -> impl Strategy<Value = Triple> {
     (1..200u64, 1..8u64, 1..200u64).prop_map(|(s, p, o)| Triple::new(Vid(s), Pid(p), Vid(o)))
 }
 
+/// The committed regression file must be found from the integration-test
+/// context (cwd is the package root, `file!()` is workspace-relative) and
+/// parse to at least the replay smoke seed — otherwise persisted failure
+/// seeds would silently stop replaying.
+#[test]
+fn regression_file_resolves_and_parses() {
+    let path = proptest::regressions_path(file!(), env!("CARGO_MANIFEST_DIR"))
+        .expect("tests/props.proptest-regressions must be discoverable");
+    let seeds = proptest::parse_regressions(&std::fs::read_to_string(path).unwrap());
+    assert!(!seeds.is_empty(), "smoke seed must parse");
+}
+
 proptest! {
     /// Key packing is a bijection over its domain.
     #[test]
