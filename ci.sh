@@ -16,12 +16,16 @@ echo "== tier-1: cargo build --release && cargo test"
 cargo build --release
 cargo test -q
 
-# Worker matrix: the parallel-equivalence suites must pass at both the
-# serial baseline and a wide pool, whatever the default happens to be.
+# Execution-mode matrix: the equivalence suites must pass at both the
+# serial baseline and a wide pool, with delta maintenance off and on —
+# incremental firings are required to be byte-identical to recompute at
+# every worker count.
 for workers in 1 4; do
-    echo "== worker matrix: WUKONG_WORKERS=$workers"
-    WUKONG_WORKERS=$workers cargo test -q -p wukong-bench \
-        --test differential --test integration_parallel
+    for inc in 0 1; do
+        echo "== matrix: WUKONG_WORKERS=$workers WUKONG_INCREMENTAL=$inc"
+        WUKONG_WORKERS=$workers WUKONG_INCREMENTAL=$inc cargo test -q -p wukong-bench \
+            --test differential --test integration_parallel --test props_incremental
+    done
 done
 
 if [[ "${1:-}" == "--quick" ]]; then
@@ -29,7 +33,7 @@ if [[ "${1:-}" == "--quick" ]]; then
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 3' "$out/table2.json"
+    grep -q '"schema_version": 4' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
 
     echo "== recovery drill smoke (tiny scale)"
@@ -44,6 +48,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     grep -q '"all_match": 1' "$out/scaling.json"
     grep -q '"pool"' "$out/scaling.json"
     echo "scaling OK: $out/scaling.json"
+
+    echo "== incremental overlap smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_incremental -- --quick --json "$out/incremental.json"
+    grep -q '"all_match": 1' "$out/incremental.json"
+    grep -q '"incremental"' "$out/incremental.json"
+    echo "incremental OK: $out/incremental.json"
 fi
 
 echo "CI green"

@@ -5,7 +5,9 @@ use std::path::PathBuf;
 
 use wukong_core::metrics::LatencyRecorder;
 use wukong_core::{RecoveryReport, WukongS};
-use wukong_obs::{FaultSnapshot, HistogramSnapshot, Json, PoolSnapshot, RegistrySnapshot};
+use wukong_obs::{
+    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, Json, PoolSnapshot, RegistrySnapshot,
+};
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
 /// the document layout changes incompatibly.
@@ -14,19 +16,21 @@ use wukong_obs::{FaultSnapshot, HistogramSnapshot, Json, PoolSnapshot, RegistryS
 /// `recovery` top-level members (fault-injection counters and
 /// checkpoint-replay metrics); 3 = added the `pool` top-level member
 /// (worker-pool counters: regions, tasks, steals, queue depth, serial
-/// vs modeled busy time).
-pub const JSON_SCHEMA_VERSION: u64 = 3;
+/// vs modeled busy time); 4 = added the `incremental` top-level member
+/// (delta-maintenance counters: maintained / rebuild / fallback firings
+/// and rows reused vs recomputed vs retracted).
+pub const JSON_SCHEMA_VERSION: u64 = 4;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 3):
+/// Document layout (`schema_version` 4):
 ///
 /// ```json
 /// {
-///   "schema_version": 3,
+///   "schema_version": 4,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
@@ -36,6 +40,8 @@ pub const JSON_SCHEMA_VERSION: u64 = 3;
 ///                   "dedup_suppressed", "restored_stable_sn" },
 ///   "pool":       { "tasks", "regions", "steals", "max_queue_depth",
 ///                   "serial_busy_ns", "modeled_busy_ns", "region_wall_ns" },
+///   "incremental": { "incremental_firings", "rebuild_firings", "fallback_firings",
+///                    "rows_reused", "rows_recomputed", "rows_retracted" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
@@ -48,7 +54,9 @@ pub const JSON_SCHEMA_VERSION: u64 = 3;
 /// experiment performed a recovery and called [`BenchJson::recovery`];
 /// `pool` carries the worker-pool counters of the captured engine (all
 /// zero when every region ran on a single lane — see `wukong-net`'s
-/// `WorkerPool` for the modeled-time cost model).
+/// `WorkerPool` for the modeled-time cost model); `incremental` carries
+/// the delta-maintenance counters (all zero unless the engine ran with
+/// `EngineConfig::incremental`).
 ///
 /// where every `{...}` stage/histogram entry carries
 /// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
@@ -129,6 +137,7 @@ impl BenchJson {
         doc.set("faults", Json::object());
         doc.set("recovery", Json::object());
         doc.set("pool", Json::object());
+        doc.set("incremental", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -196,6 +205,19 @@ impl BenchJson {
         *self.member("pool") = o;
     }
 
+    /// Records the delta-maintenance counters (usually an interval
+    /// delta).
+    pub fn incremental(&mut self, snap: &IncrementalSnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("incremental") = o;
+    }
+
     /// Records a recovery's replay metrics.
     pub fn recovery(&mut self, r: &RecoveryReport) {
         if !self.active() {
@@ -239,6 +261,7 @@ impl BenchJson {
         }
         self.faults(&engine.handle().fault_counters());
         self.pool(&engine.handle().obs().pool().snapshot());
+        self.incremental(&engine.handle().obs().incremental().snapshot());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -286,14 +309,46 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
         assert_eq!(l1.get("p50").and_then(Json::as_f64), Some(2.0));
-        for key in ["counters", "fabric", "faults", "recovery", "pool", "stages"] {
+        for key in [
+            "counters",
+            "fabric",
+            "faults",
+            "recovery",
+            "pool",
+            "incremental",
+            "stages",
+        ] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn incremental_section_round_trips() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let snap = IncrementalSnapshot {
+            incremental_firings: 30,
+            rebuild_firings: 1,
+            fallback_firings: 2,
+            rows_reused: 900,
+            rows_recomputed: 120,
+            rows_retracted: 110,
+        };
+        j.incremental(&snap);
+        let i = j.document().get("incremental").unwrap();
+        assert_eq!(
+            i.get("incremental_firings").and_then(Json::as_u64),
+            Some(30)
+        );
+        assert_eq!(i.get("rebuild_firings").and_then(Json::as_u64), Some(1));
+        assert_eq!(i.get("fallback_firings").and_then(Json::as_u64), Some(2));
+        assert_eq!(i.get("rows_reused").and_then(Json::as_u64), Some(900));
+        assert_eq!(i.get("rows_recomputed").and_then(Json::as_u64), Some(120));
+        assert_eq!(i.get("rows_retracted").and_then(Json::as_u64), Some(110));
     }
 
     #[test]

@@ -7,9 +7,9 @@
 
 use crate::cluster::Cluster;
 use wukong_net::{NodeId, TaskTimer};
-use wukong_query::exec::{ExecContext, GraphAccess, PatternSource};
+use wukong_query::exec::{ExecContext, GraphAccess, PatternSource, TimedGraphAccess};
 use wukong_query::GraphName;
-use wukong_rdf::{Key, Vid};
+use wukong_rdf::{Key, Timestamp, Vid};
 
 /// Graph access for a task pinned to one node.
 pub struct NodeAccess<'a> {
@@ -65,6 +65,42 @@ impl GraphAccess for NodeAccess<'_> {
                 let w = ctx.window(i);
                 self.cluster
                     .stream_len(w.stream.0 as usize, key, w.lo, w.hi)
+            }
+        }
+    }
+}
+
+impl TimedGraphAccess for NodeAccess<'_> {
+    fn neighbors_timed(
+        &self,
+        key: Key,
+        src: PatternSource,
+        ctx: &ExecContext,
+        timer: &mut TaskTimer,
+        out: &mut Vec<(Vid, Timestamp)>,
+    ) {
+        match src {
+            GraphName::Stored => {
+                // The stored graph never expires: tag 0 keeps stored
+                // contributions permanently inside any window.
+                let before = out.len();
+                let mut plain = Vec::new();
+                self.cluster
+                    .stored_neighbors(self.home, key, ctx.sn, timer, &mut plain);
+                out.extend(plain.into_iter().map(|v| (v, 0)));
+                debug_assert!(out.len() >= before);
+            }
+            GraphName::Stream(i) => {
+                let w = ctx.window(i);
+                self.cluster.stream_neighbors_timed(
+                    self.home,
+                    w.stream.0 as usize,
+                    key,
+                    w.lo,
+                    w.hi,
+                    timer,
+                    out,
+                );
             }
         }
     }
@@ -137,5 +173,26 @@ mod tests {
             ),
             1
         );
+
+        // The timed path sees the same edges, each tagged with its
+        // contributing batch timestamp (stored edges tag 0: permanent).
+        let mut timed = Vec::new();
+        access.neighbors_timed(
+            Key::new(Vid(1), Pid(4), Dir::Out),
+            GraphName::Stream(0),
+            &ctx,
+            &mut timer,
+            &mut timed,
+        );
+        assert_eq!(timed, vec![(Vid(3), 100)]);
+        timed.clear();
+        access.neighbors_timed(
+            Key::new(Vid(1), Pid(2), Dir::Out),
+            GraphName::Stored,
+            &ctx,
+            &mut timer,
+            &mut timed,
+        );
+        assert_eq!(timed, vec![(Vid(2), 0)]);
     }
 }

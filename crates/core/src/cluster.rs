@@ -357,6 +357,74 @@ impl Cluster {
         }
     }
 
+    /// Reads the streaming-data neighbours of `key` within `[lo, hi]`
+    /// *with* each edge's contributing batch timestamp, for the
+    /// delta-maintenance path: the tag is what lets a maintained firing
+    /// later retract exactly the rows whose support expired. Costs are
+    /// charged like [`Cluster::stream_neighbors`] — the timestamps ride
+    /// along with index metadata that is already replicated (or already
+    /// paid for by the extra index read without replication), so no
+    /// additional fabric traffic is modelled.
+    ///
+    /// Index keys are not supported: the incremental executor enumerates
+    /// index subjects untimed and tags only their expansion edges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_neighbors_timed(
+        &self,
+        home: NodeId,
+        stream_idx: usize,
+        key: Key,
+        lo: u64,
+        hi: u64,
+        timer: &mut TaskTimer,
+        out: &mut Vec<(Vid, wukong_rdf::Timestamp)>,
+    ) {
+        debug_assert!(
+            !key.is_index(),
+            "timed scans enumerate edges, not index vertices"
+        );
+        let stream = self.stream(stream_idx);
+        let owner = self.owner(key);
+        let remote = owner != home;
+
+        if remote && !self.replicate_indexes {
+            // The index lives only with the owner: one extra read.
+            self.fabric.charge_read(home, owner, 24, timer);
+        }
+
+        // Timeless: stream index → timestamped fat pointers → values.
+        let before = out.len();
+        {
+            let index = stream.indexes[owner.idx()].read();
+            let shard = &self.shards[owner.idx()];
+            let mut vals = Vec::new();
+            index.for_each_pointer_timed_in(key, lo, hi, |ts, fp| {
+                vals.clear();
+                shard.read_range(key, fp.start, fp.len, &mut vals);
+                out.extend(vals.iter().map(|&v| (v, ts)));
+            });
+        }
+        if remote && out.len() > before {
+            let bytes = (out.len() - before) * std::mem::size_of::<Vid>();
+            self.fabric.charge_read(home, owner, bytes, timer);
+        }
+
+        // Timing: each transient slice is one batch, tagged with the
+        // batch timestamp.
+        let before = out.len();
+        {
+            let transient = stream.transients[owner.idx()].read();
+            transient.for_each_slice_in(lo, hi, |s| {
+                let ts = s.timestamp;
+                out.extend(s.neighbors(key).iter().map(|&v| (v, ts)));
+            });
+        }
+        if remote && out.len() > before {
+            let bytes = (out.len() - before) * std::mem::size_of::<Vid>();
+            self.fabric.charge_read(home, owner, bytes, timer);
+        }
+    }
+
     /// Streaming-data cardinality estimate for the planner (uncharged).
     pub fn stream_len(&self, stream_idx: usize, key: Key, lo: u64, hi: u64) -> usize {
         let stream = self.stream(stream_idx);

@@ -102,6 +102,15 @@ pub struct EngineConfig {
     /// deterministic-by-construction for any value (DESIGN.md §9).
     /// Presets read `WUKONG_WORKERS` (default 1).
     pub worker_threads: usize,
+    /// Delta-maintenance execution for continuous queries: keep each
+    /// registered query's window state materialized and process only the
+    /// inserted suffix / expired prefix of an overlapping window instead
+    /// of re-running the full scan/join (DESIGN.md §10). Queries whose
+    /// plans are not incrementalizable — and every firing while a fault
+    /// plan is installed — automatically fall back to full recompute.
+    /// Presets read `WUKONG_INCREMENTAL` (default off). Results are
+    /// byte-identical either way; this is purely a latency knob.
+    pub incremental: bool,
 }
 
 impl EngineConfig {
@@ -122,6 +131,28 @@ impl EngineConfig {
             fault_plan: None,
             rpc: RpcPolicy::default(),
             worker_threads: Self::worker_threads_from_env(),
+            incremental: Self::incremental_from_env(),
+        }
+    }
+
+    /// The `WUKONG_INCREMENTAL` environment override for
+    /// [`EngineConfig::incremental`] (off unless set to `1` or `true`).
+    /// CI runs the whole test suite at both settings to prove the two
+    /// execution modes are equivalent.
+    pub fn incremental_from_env() -> bool {
+        std::env::var("WUKONG_INCREMENTAL")
+            .map(|s| {
+                let s = s.trim();
+                s == "1" || s.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false)
+    }
+
+    /// Returns this configuration with `incremental` set to `on`.
+    pub fn with_incremental(self, on: bool) -> Self {
+        EngineConfig {
+            incremental: on,
+            ..self
         }
     }
 
@@ -190,6 +221,20 @@ mod tests {
         assert_eq!(
             EngineConfig::single_node().with_workers(0).worker_threads,
             1
+        );
+    }
+
+    #[test]
+    fn incremental_knob() {
+        // Presets default from the environment (off unless
+        // WUKONG_INCREMENTAL is set, in which case CI's matrix leg is in
+        // charge); the builder pins it either way.
+        let on = EngineConfig::single_node().with_incremental(true);
+        assert!(on.incremental);
+        assert!(!on.with_incremental(false).incremental);
+        assert_eq!(
+            EngineConfig::cluster(3).incremental,
+            EngineConfig::single_node().incremental
         );
     }
 

@@ -110,6 +110,12 @@ struct Registered {
     /// Rows emitted by the previous firing (IStream semantics: each
     /// firing emits only results that were not in the previous window).
     last_emitted: Mutex<std::collections::HashSet<Vec<wukong_rdf::Vid>>>,
+    /// Delta-maintenance state (materialized binding rows tagged with
+    /// their contributing batch timestamps), populated only while the
+    /// engine runs this query incrementally. `None` means the next
+    /// maintained firing rebuilds from scratch — the initial value, and
+    /// what recovery restores by re-registering queries fresh.
+    delta: Mutex<Option<wukong_query::DeltaState>>,
 }
 
 struct Pipeline {
@@ -727,6 +733,7 @@ impl WukongS {
             retired: std::sync::atomic::AtomicBool::new(false),
             construct_target: target,
             last_emitted: Mutex::new(std::collections::HashSet::new()),
+            delta: Mutex::new(None),
         }));
         Ok(id)
     }
@@ -879,6 +886,63 @@ impl WukongS {
         (results, total_ns as f64 / 1e6, trace)
     }
 
+    /// Whether firings of `r` run under delta maintenance right now:
+    /// the mode is on, the plan is incrementalizable, and no fault plan
+    /// is installed (faults can drop or degrade a firing's reads, which
+    /// must not poison retained state — recompute is self-healing).
+    fn maintains(&self, r: &Registered) -> bool {
+        self.cfg.incremental
+            && self.cfg.fault_plan.is_none()
+            && wukong_query::incrementalizable(&r.query)
+    }
+
+    /// Executes one maintained firing: retract the expired prefix of the
+    /// retained rows, derive the inserted suffix from the delta slices,
+    /// and finalize the state — instead of re-running the full scan/join.
+    /// Must be called serially in window order (state chains firing to
+    /// firing), which also makes it trivially worker-count independent.
+    fn execute_incremental_at(
+        &self,
+        r: &Registered,
+        class: &str,
+        instances: &[(usize, Timestamp, Timestamp)],
+        sn: wukong_store::SnapshotId,
+    ) -> (ResultSet, f64, StageTrace) {
+        let mut timer = TaskTimer::start();
+        let mut trace = StageTrace::new();
+        let t0 = timer.total_ns();
+        let ctx = Self::context_at(sn, instances);
+        let plan = self.plan_for(r, &ctx);
+        trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
+        let access = NodeAccess::new(&self.cluster, r.home);
+        let lit = StringLiteralResolver(self.strings());
+        // Registered RANGE per query-local stream, in window order — the
+        // instance spans can be clamped at the stream epoch and must not
+        // shorten row expiry.
+        let ranges: Vec<Timestamp> = r
+            .window
+            .lock()
+            .windows()
+            .iter()
+            .map(|w| w.range_ms)
+            .collect();
+        let (results, stats) = {
+            let mut state = r.delta.lock();
+            wukong_query::incremental::maintain(
+                &r.query, &plan, &mut state, &ctx, &ranges, &access, &lit, &mut timer, &mut trace,
+            )
+        };
+        self.cluster.obs().incremental().record_maintained(
+            stats.rebuilt,
+            stats.rows_reused,
+            stats.rows_recomputed,
+            stats.rows_retracted,
+        );
+        let total_ns = timer.total_ns();
+        self.cluster.obs().record_query(class, &trace, total_ns);
+        (results, total_ns as f64 / 1e6, trace)
+    }
+
     fn query_class(r: &Registered, id: ContinuousId) -> String {
         r.query
             .name
@@ -922,10 +986,29 @@ impl WukongS {
                 continue;
             }
             let class = Self::query_class(r, id);
-            let executed = self.cluster.pool(r.home).map(batch, |_, instances| {
-                let run = self.execute_instances_at(r, &class, &instances, sn);
-                (instances, run)
-            });
+            let executed: Vec<_> = if self.maintains(r) {
+                // Delta maintenance chains state from window to window,
+                // so a maintained query's batch runs serially in window
+                // order — identical at any worker count.
+                batch
+                    .into_iter()
+                    .map(|instances| {
+                        let run = self.execute_incremental_at(r, &class, &instances, sn);
+                        (instances, run)
+                    })
+                    .collect()
+            } else {
+                if self.cfg.incremental {
+                    // The mode is on but this query recomputes (plan not
+                    // incrementalizable, or a fault plan is installed).
+                    let inc = self.cluster.obs().incremental();
+                    batch.iter().for_each(|_| inc.record_fallback());
+                }
+                self.cluster.pool(r.home).map(batch, |_, instances| {
+                    let run = self.execute_instances_at(r, &class, &instances, sn);
+                    (instances, run)
+                })
+            };
             // CONSTRUCT feeding and firing emission stay serialized on
             // the coordinator side, in window order.
             for (instances, (results, latency_ms, stages)) in executed {
@@ -981,16 +1064,7 @@ impl WukongS {
     pub fn execute_registered(&self, id: ContinuousId) -> (ResultSet, f64) {
         let r = Arc::clone(&self.registry.read()[id]);
         if r.retired.load(Ordering::Relaxed) {
-            return (
-                ResultSet {
-                    var_names: Vec::new(),
-                    rows: Vec::new(),
-                    aggregates: Vec::new(),
-                    group_aggregates: Vec::new(),
-                    unreachable_shards: Vec::new(),
-                },
-                0.0,
-            );
+            return (ResultSet::empty(Vec::new()), 0.0);
         }
         let stable = {
             let pl = self.pipeline.lock();

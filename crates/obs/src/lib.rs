@@ -23,6 +23,7 @@
 
 pub mod faults;
 pub mod histogram;
+pub mod incremental;
 pub mod json;
 pub mod pool;
 pub mod registry;
@@ -30,6 +31,7 @@ pub mod stage;
 
 pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use incremental::{IncrementalCounters, IncrementalSnapshot};
 pub use json::Json;
 pub use pool::{PoolCounters, PoolSnapshot};
 pub use registry::{Registry, RegistrySnapshot, SeriesSnapshot};

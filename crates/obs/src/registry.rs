@@ -17,6 +17,7 @@ use parking_lot::RwLock;
 
 use crate::faults::FaultCounters;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::incremental::IncrementalCounters;
 use crate::pool::PoolCounters;
 use crate::stage::{Stage, StageTrace};
 
@@ -35,6 +36,7 @@ pub struct Registry {
     streams: RwLock<BTreeMap<String, Arc<RwLock<Series>>>>,
     faults: Arc<FaultCounters>,
     pool: Arc<PoolCounters>,
+    incremental: Arc<IncrementalCounters>,
 }
 
 fn series_for(
@@ -104,6 +106,13 @@ impl Registry {
     /// records its parallel regions here.
     pub fn pool(&self) -> &Arc<PoolCounters> {
         &self.pool
+    }
+
+    /// The shared delta-maintenance counters; the engine's `fire_ready`
+    /// records every continuous firing's path (maintained vs fallback)
+    /// and row reuse here.
+    pub fn incremental(&self) -> &Arc<IncrementalCounters> {
+        &self.incremental
     }
 
     /// Point-in-time copy of every keyed series.

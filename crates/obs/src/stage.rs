@@ -29,6 +29,8 @@ pub enum Stage {
     PatternMatch,
     ForkJoinFanout,
     ForkJoinMerge,
+    DeltaApply,
+    StateRetract,
     ResultEmit,
     // Batch stages (one ingest batch).
     Adaptor,
@@ -41,11 +43,13 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 13] = [
         Stage::WindowExtract,
         Stage::PatternMatch,
         Stage::ForkJoinFanout,
         Stage::ForkJoinMerge,
+        Stage::DeltaApply,
+        Stage::StateRetract,
         Stage::ResultEmit,
         Stage::Adaptor,
         Stage::Dispatch,
@@ -62,6 +66,8 @@ impl Stage {
             Stage::PatternMatch => "pattern_match",
             Stage::ForkJoinFanout => "forkjoin_fanout",
             Stage::ForkJoinMerge => "forkjoin_merge",
+            Stage::DeltaApply => "delta_apply",
+            Stage::StateRetract => "state_retract",
             Stage::ResultEmit => "result_emit",
             Stage::Adaptor => "adaptor",
             Stage::Dispatch => "dispatch",
@@ -80,6 +86,8 @@ impl Stage {
                 | Stage::PatternMatch
                 | Stage::ForkJoinFanout
                 | Stage::ForkJoinMerge
+                | Stage::DeltaApply
+                | Stage::StateRetract
                 | Stage::ResultEmit
         )
     }
@@ -91,11 +99,17 @@ impl Stage {
 
     /// Whether the stage is one of the disjoint spans whose sum accounts
     /// for a firing's end-to-end latency (fork-join sub-spans overlap
-    /// `PatternMatch`, so they are excluded).
+    /// `PatternMatch`, so they are excluded). Incremental firings report
+    /// `StateRetract`/`DeltaApply` *instead of* `PatternMatch`, so both
+    /// families are disjoint partitions of a firing and both count.
     pub fn counts_toward_query_total(self) -> bool {
         matches!(
             self,
-            Stage::WindowExtract | Stage::PatternMatch | Stage::ResultEmit
+            Stage::WindowExtract
+                | Stage::PatternMatch
+                | Stage::DeltaApply
+                | Stage::StateRetract
+                | Stage::ResultEmit
         )
     }
 }
@@ -194,5 +208,22 @@ mod tests {
         u.merge(&t);
         u.merge(&t);
         assert_eq!(u.get(Stage::PatternMatch), 300);
+    }
+
+    #[test]
+    fn incremental_stages_partition_a_firing() {
+        // An incremental firing reports StateRetract + DeltaApply in
+        // place of PatternMatch; the three disjoint spans plus
+        // WindowExtract/ResultEmit must sum like the recompute family.
+        for s in [Stage::DeltaApply, Stage::StateRetract] {
+            assert!(s.is_query_stage());
+            assert!(s.counts_toward_query_total());
+        }
+        let mut t = StageTrace::new();
+        t.add(Stage::WindowExtract, 10);
+        t.add(Stage::StateRetract, 20);
+        t.add(Stage::DeltaApply, 100);
+        t.add(Stage::ResultEmit, 5);
+        assert_eq!(t.query_total_ns(), 135);
     }
 }

@@ -35,6 +35,18 @@ impl BindingTable {
         }
     }
 
+    /// Wraps an already width-strided flat buffer as a table (one move,
+    /// no per-row copying — the bulk-ingest twin of [`Self::push_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the effective width.
+    pub fn from_flat(width: usize, rows: Vec<Vid>) -> Self {
+        let width = width.max(1);
+        assert_eq!(rows.len() % width, 0, "flat buffer is not width-strided");
+        BindingTable { width, rows }
+    }
+
     /// Number of variable slots per row.
     pub fn width(&self) -> usize {
         self.width
@@ -89,6 +101,26 @@ impl BindingTable {
         self.rows.chunks_exact(self.width)
     }
 
+    /// Sorts rows lexicographically (unbound slots sort last — the
+    /// sentinel is the maximum id). Execution strategies (in-place,
+    /// fork-join, incremental delta maintenance) produce the same result
+    /// *multiset* in different row orders; canonicalizing before
+    /// projection makes row order, float-aggregation order, and
+    /// `LIMIT` truncation identical across all of them.
+    pub fn sort_rows(&mut self) {
+        let width = self.width;
+        if self.rows.len() <= width {
+            return;
+        }
+        let mut chunks: Vec<&[Vid]> = self.rows.chunks_exact(width).collect();
+        chunks.sort_unstable();
+        let mut out = Vec::with_capacity(self.rows.len());
+        for c in chunks {
+            out.extend_from_slice(c);
+        }
+        self.rows = out;
+    }
+
     /// Approximate wire size when shipped between nodes (fork-join cost).
     pub fn wire_bytes(&self) -> usize {
         self.rows.len() * std::mem::size_of::<Vid>()
@@ -138,5 +170,19 @@ mod tests {
     fn wrong_width_panics() {
         let mut t = BindingTable::empty(2);
         t.push_row(&[Vid(1)]);
+    }
+
+    #[test]
+    fn sort_rows_is_lexicographic_with_unbound_last() {
+        let mut t = BindingTable::empty(2);
+        t.push_row(&[Vid(2), Vid(1)]);
+        t.push_row(&[UNBOUND, Vid(0)]);
+        t.push_row(&[Vid(2), Vid(0)]);
+        t.push_row(&[Vid(1), Vid(9)]);
+        t.sort_rows();
+        assert_eq!(t.row(0), &[Vid(1), Vid(9)]);
+        assert_eq!(t.row(1), &[Vid(2), Vid(0)]);
+        assert_eq!(t.row(2), &[Vid(2), Vid(1)]);
+        assert_eq!(t.row(3), &[UNBOUND, Vid(0)]);
     }
 }

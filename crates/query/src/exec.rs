@@ -94,6 +94,30 @@ pub trait GraphAccess {
     }
 }
 
+/// [`GraphAccess`] that can also report *when* each edge arrived.
+///
+/// The incremental (delta-maintenance) executor tags every binding row
+/// with the batch timestamps of its contributing stream edges, so that a
+/// later firing can retract exactly the rows whose edges slid out of the
+/// window. Implementations return one `(neighbour, timestamp)` pair per
+/// edge *occurrence* — duplicated edges appear once per occurrence, which
+/// is what preserves SPARQL bag semantics under delta maintenance.
+///
+/// Only [`GraphName::Stream`] sources are read through this trait (the
+/// incremental classifier rejects stored-graph patterns); implementations
+/// may tag stored edges with timestamp 0.
+pub trait TimedGraphAccess: GraphAccess {
+    /// Appends `(neighbour, batch timestamp)` pairs of `key` in `src`.
+    fn neighbors_timed(
+        &self,
+        key: Key,
+        src: PatternSource,
+        ctx: &ExecContext,
+        timer: &mut TaskTimer,
+        out: &mut Vec<(Vid, Timestamp)>,
+    );
+}
+
 /// Resolves entity IDs to numeric literal values for `FILTER` and
 /// numeric aggregates.
 pub trait LiteralResolver {

@@ -40,6 +40,20 @@ pub struct ResultSet {
 }
 
 impl ResultSet {
+    /// The canonical empty result: no rows, no aggregates, no degraded
+    /// shards — only the projected variable names. Used wherever a query
+    /// cannot or does not run (retired registrations, empty windows)
+    /// instead of hand-rolling the literal.
+    pub fn empty(var_names: Vec<String>) -> Self {
+        ResultSet {
+            var_names,
+            rows: Vec::new(),
+            aggregates: Vec::new(),
+            group_aggregates: Vec::new(),
+            unreachable_shards: Vec::new(),
+        }
+    }
+
     /// Number of result rows (before aggregation).
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -51,7 +65,7 @@ impl ResultSet {
     }
 }
 
-fn concrete(term: Term, row: &[Vid]) -> Option<Vid> {
+pub(crate) fn concrete(term: Term, row: &[Vid]) -> Option<Vid> {
     match term {
         Term::Const(c) => Some(c),
         Term::Var(v) => {
@@ -238,6 +252,11 @@ pub fn finalize(
     applied: &[bool],
     lit: &impl LiteralResolver,
 ) -> ResultSet {
+    // Canonicalize the binding-row order before projecting: the in-place,
+    // fork-join, and incremental strategies produce the same multiset of
+    // rows in different orders, and projection order, float-aggregation
+    // order, and LIMIT truncation all observe it.
+    table.sort_rows();
     if applied.iter().any(|a| !a) && !query.filters.is_empty() && !table.is_empty() {
         let unappl: Vec<&Filter> = query
             .filters
@@ -887,6 +906,22 @@ mod tests {
         st.insert_base(Triple::new(b, p, b));
         let rs = run(&ss, &st, "SELECT ?X WHERE { ?X p ?X }");
         assert_eq!(rs.rows, vec![vec![b]]);
+    }
+
+    #[test]
+    fn empty_constructor_matches_finalize_of_empty_table() {
+        let ss = StringServer::new();
+        let q = parse_query(&ss, "SELECT ?X ?Y WHERE { ?X fo ?Y }").unwrap();
+        let empty = ResultSet::empty(vec!["X".into(), "Y".into()]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        let finalized = finalize(
+            &q,
+            BindingTable::empty(q.var_count as usize),
+            &[],
+            &NoLiterals,
+        );
+        assert_eq!(empty, finalized);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod bindings;
 pub mod error;
 pub mod exec;
 pub mod executor;
+pub mod incremental;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
@@ -41,11 +42,12 @@ pub mod planner;
 pub use ast::{Aggregate, Filter, GraphName, Query, QueryKind, Term, TriplePattern, WindowSpec};
 pub use bindings::BindingTable;
 pub use error::QueryError;
-pub use exec::{GraphAccess, LiteralResolver, PatternSource};
+pub use exec::{GraphAccess, LiteralResolver, PatternSource, TimedGraphAccess};
 pub use executor::{
     apply_not_exists, apply_optional, apply_ready_filters, apply_union, execute, execute_step,
     execute_traced, finalize, ResultSet,
 };
+pub use incremental::{incrementalizable, DeltaState, DeltaStats};
 pub use parser::parse_query;
 pub use plan::{Plan, Step};
 pub use planner::{plan_patterns, plan_query};

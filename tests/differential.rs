@@ -1,19 +1,28 @@
-//! Differential oracle: the parallel engine vs. a naive relational
-//! re-evaluation.
+//! Three-way differential oracle: the recompute engine, the incremental
+//! (delta-maintenance) engine, and a naive relational re-evaluation.
 //!
 //! Seeded generators produce random stored graphs, stream timelines, and
 //! conjunctive continuous queries; the workload runs through the full
-//! engine (worker pools, sharded stores, VTS-gated firing) and every
-//! firing is re-checked against `wukong_baselines::TripleTable` — scans
-//! and hash joins over the stored triples plus the per-stream window
-//! contents. The two implementations share nothing beyond the parser, so
-//! agreement on every (query, window_end) pair is strong evidence the
-//! parallel execution paths preserve the engine's semantics.
+//! engine **twice** — once recomputing every firing from scratch and once
+//! with `EngineConfig::incremental` maintaining per-query window state —
+//! and the two firing sequences must agree *byte for byte* (same firing
+//! order, same unsorted rows, same aggregates). The recompute run is then
+//! re-checked against `wukong_baselines::TripleTable` — scans and hash
+//! joins over the stored triples plus the per-stream window contents.
+//! The three implementations share nothing beyond the parser, so
+//! agreement on every (query, window_end) pair is strong evidence that
+//! both execution paths preserve the engine's semantics.
+//!
+//! The generated window geometry sweeps the overlap regimes that stress
+//! delta maintenance differently: tumbling windows (range == step, no
+//! survivors), deep overlap (range up to 4× the batch interval), and
+//! disjoint slides (step > range, everything retracted).
 //!
 //! On divergence the test shrinks the failing workload to the *minimal
 //! stream prefix* that still diverges and reports the full scenario
 //! (queries, stored graph, surviving tuples) so the failure is
-//! reproducible by hand.
+//! reproducible by hand — for engine-vs-oracle and incremental-vs-
+//! recompute divergences alike.
 //!
 //! Time model caveat: the Adaptor stamps each mini-batch with the *end*
 //! of its interval, so a tuple ingested at raw time `ts` becomes visible
@@ -286,23 +295,27 @@ fn oracle_rows(
 // ---------------------------------------------------------------------
 
 struct Divergence {
+    /// Which pair of the three implementations disagreed.
+    kind: &'static str,
     query: usize,
     window_end: Timestamp,
     engine_rows: Vec<Vec<Vid>>,
     oracle_rows: Vec<Vec<Vid>>,
 }
 
-/// Runs the first `prefix` timeline tuples through a fresh engine and
-/// cross-checks every firing. Returns `(firings checked, firings with at
-/// least one row)` — the second count guards against vacuous agreement
-/// on nothing-but-empty windows.
-fn check_prefix(
+/// Runs the first `prefix` timeline tuples through a fresh engine
+/// (delta-maintained or recomputing per `incremental`) and returns the
+/// firing sequence plus the registered query IDs.
+fn run_engine(
     sc: &Scenario,
     workers: usize,
     prefix: usize,
-) -> Result<(usize, usize), Divergence> {
+    incremental: bool,
+) -> (Vec<Firing>, Vec<usize>) {
     let engine = WukongS::with_strings(
-        EngineConfig::cluster(3).with_workers(workers),
+        EngineConfig::cluster(3)
+            .with_workers(workers)
+            .with_incremental(incremental),
         Arc::clone(&sc.strings),
     );
     engine.load_base(sc.stored.iter().copied());
@@ -317,12 +330,11 @@ fn check_prefix(
             ))
         })
         .collect();
-    let mut ids = Vec::new();
-    let mut asts = Vec::new();
-    for text in &sc.queries {
-        ids.push(engine.register_continuous(text).expect("registers"));
-        asts.push(parse_query(&sc.strings, text).expect("parses"));
-    }
+    let ids: Vec<usize> = sc
+        .queries
+        .iter()
+        .map(|text| engine.register_continuous(text).expect("registers"))
+        .collect();
 
     let timeline = &sc.timeline[..prefix];
     let mut fed = 0;
@@ -337,21 +349,76 @@ fn check_prefix(
         engine.advance_time(tick);
         firings.extend(engine.fire_ready());
     }
+    (firings, ids)
+}
 
+/// Runs the first `prefix` timeline tuples through both engine modes and
+/// cross-checks every firing three ways: incremental ≡ recompute (byte
+/// for byte, rows unsorted) and recompute ≡ relational oracle (sorted).
+/// Returns `(firings checked, firings with at least one row)` — the
+/// second count guards against vacuous agreement on nothing-but-empty
+/// windows.
+fn check_prefix(
+    sc: &Scenario,
+    workers: usize,
+    prefix: usize,
+) -> Result<(usize, usize), Divergence> {
+    let (firings, ids) = run_engine(sc, workers, prefix, false);
+    let (inc_firings, inc_ids) = run_engine(sc, workers, prefix, true);
+    assert_eq!(ids, inc_ids, "registration order must not depend on mode");
+
+    // Leg 1: the incremental engine's firing sequence must be
+    // byte-identical to the recompute engine's — same firing order, same
+    // unsorted row order, same aggregates and variable names.
+    let qi_of = |f: &Firing| ids.iter().position(|id| *id == f.query).expect("known");
+    if firings.len() != inc_firings.len() {
+        let (f, rows_rec, rows_inc) = if inc_firings.len() > firings.len() {
+            let f = &inc_firings[firings.len()];
+            (f, Vec::new(), f.results.rows.clone())
+        } else {
+            let f = &firings[inc_firings.len()];
+            (f, f.results.rows.clone(), Vec::new())
+        };
+        return Err(Divergence {
+            kind: "incremental engine vs recompute engine (firing counts)",
+            query: qi_of(f),
+            window_end: f.window_end,
+            engine_rows: rows_inc,
+            oracle_rows: rows_rec,
+        });
+    }
+    for (rec, inc) in firings.iter().zip(&inc_firings) {
+        if rec.query != inc.query || rec.window_end != inc.window_end || rec.results != inc.results
+        {
+            return Err(Divergence {
+                kind: "incremental engine vs recompute engine",
+                query: qi_of(rec),
+                window_end: rec.window_end,
+                engine_rows: inc.results.rows.clone(),
+                oracle_rows: rec.results.rows.clone(),
+            });
+        }
+    }
+
+    // Leg 2: the recompute engine vs the independent scan+join oracle.
+    let timeline = &sc.timeline[..prefix];
+    let asts: Vec<Query> = sc
+        .queries
+        .iter()
+        .map(|text| parse_query(&sc.strings, text).expect("parses"))
+        .collect();
     let mut stored_tt = TripleTable::new();
     stored_tt.load(sc.stored.iter().copied());
     let mut checked = 0;
     let mut nonempty = 0;
     for f in &firings {
-        let qi = ids
-            .iter()
-            .position(|id| *id == f.query)
-            .expect("known query");
+        let qi = qi_of(f);
         let expect = oracle_rows(&asts[qi], &stored_tt, timeline, f.window_end);
         let mut got = f.results.rows.clone();
         got.sort();
         if got != expect {
             return Err(Divergence {
+                kind: "recompute engine vs relational oracle",
                 query: qi,
                 window_end: f.window_end,
                 engine_rows: got,
@@ -394,10 +461,11 @@ fn check_seed(seed: u64, workers: usize) -> (usize, usize) {
                 })
                 .collect();
             panic!(
-                "differential divergence (seed {seed}, workers {workers})\n\
+                "differential divergence: {} (seed {seed}, workers {workers})\n\
                  minimal stream prefix: {len} tuples\n{}\n\
                  query {} = {}\n\
-                 window_end {}\n  engine rows: {:?}\n  oracle rows: {:?}",
+                 window_end {}\n  lhs rows: {:?}\n  rhs rows: {:?}",
+                div.kind,
                 tuples.join("\n"),
                 div.query,
                 sc.queries[div.query],
@@ -433,6 +501,63 @@ fn oracle_agreement_holds_at_every_worker_count() {
     for workers in [1, 2, 8] {
         let (checked, _) = check_seed(7, workers);
         assert!(checked > 10, "only {checked} firings at {workers} workers");
+    }
+}
+
+/// Pins the window-overlap regimes that stress delta maintenance
+/// differently: tumbling (range == step, zero survivors), 50% overlap,
+/// 75% overlap with range 4× the batch interval, and disjoint slides
+/// (step > range, everything retracted every firing). Each regime runs
+/// the full three-way check over a seeded join-heavy timeline.
+#[test]
+fn three_way_agreement_sweeps_overlap_regimes() {
+    for (range, step) in [(100u64, 100u64), (200, 100), (400, 100), (100, 300)] {
+        let mut rng = Rng(0xA5A5 ^ (range << 4) ^ step);
+        let strings = Arc::new(StringServer::new());
+        let entities: Vec<Vid> = (0..10)
+            .map(|i| strings.intern_entity(&format!("e{i}")).expect("interns"))
+            .collect();
+        let preds: Vec<Pid> = ["ta0", "ta1"]
+            .iter()
+            .map(|p| strings.intern_predicate(p).expect("interns"))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut timeline = Vec::new();
+        for _ in 0..80 {
+            let t = Triple::new(
+                entities[rng.below(10) as usize],
+                preds[rng.below(2) as usize],
+                entities[rng.below(10) as usize],
+            );
+            let ts = 1 + rng.below(MAX_TS);
+            if seen.insert((t.s, t.p, t.o)) {
+                timeline.push((0, t, ts));
+            }
+        }
+        timeline.sort_by_key(|(_, _, ts)| *ts);
+        let sc = Scenario {
+            strings,
+            stored: Vec::new(),
+            timeline,
+            queries: vec![format!(
+                "REGISTER QUERY D0 SELECT ?V0 ?V1 ?V2 \
+                 FROM SA [RANGE {range}ms STEP {step}ms] \
+                 WHERE {{ GRAPH SA {{ ?V0 ta0 ?V1 }} GRAPH SA {{ ?V2 ta1 ?V1 }} }}"
+            )],
+            max_range_ms: range,
+        };
+        let (checked, nonempty) = check_prefix(&sc, 4, sc.timeline.len()).unwrap_or_else(|d| {
+            panic!(
+                "overlap regime range={range} step={step} diverged: {} \
+                     at window {}\n  lhs rows: {:?}\n  rhs rows: {:?}",
+                d.kind, d.window_end, d.engine_rows, d.oracle_rows
+            )
+        });
+        assert!(
+            checked > 3,
+            "range={range} step={step}: only {checked} firings"
+        );
+        assert!(nonempty > 0, "range={range} step={step}: vacuous regime");
     }
 }
 
