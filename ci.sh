@@ -28,12 +28,21 @@ for workers in 1 4; do
     done
 done
 
+# Overload matrix: the bounded-ingest path must hold its invariants with
+# the budget injected from the environment, and the suites that talk to
+# a possibly-shedding engine must stay green under admission control.
+for budget in 64 1024; do
+    echo "== matrix: WUKONG_INGEST_BUDGET=$budget"
+    WUKONG_INGEST_BUDGET=$budget cargo test -q -p wukong-bench \
+        --test integration_stress --test props_overload --test integration_obs
+done
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "== bench JSON smoke (tiny scale)"
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 4' "$out/table2.json"
+    grep -q '"schema_version": 5' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
 
     echo "== recovery drill smoke (tiny scale)"
@@ -55,6 +64,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     grep -q '"all_match": 1' "$out/incremental.json"
     grep -q '"incremental"' "$out/incremental.json"
     echo "incremental OK: $out/incremental.json"
+
+    echo "== overload drill smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_overload -- --quick --json "$out/overload.json"
+    grep -q '"all_match": 1' "$out/overload.json"
+    grep -q '"overload"' "$out/overload.json"
+    echo "overload OK: $out/overload.json"
 fi
 
 echo "CI green"

@@ -6,7 +6,8 @@ use std::path::PathBuf;
 use wukong_core::metrics::LatencyRecorder;
 use wukong_core::{RecoveryReport, WukongS};
 use wukong_obs::{
-    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, Json, PoolSnapshot, RegistrySnapshot,
+    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, Json, OverloadSnapshot, PoolSnapshot,
+    RegistrySnapshot,
 };
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
@@ -18,19 +19,22 @@ use wukong_obs::{
 /// (worker-pool counters: regions, tasks, steals, queue depth, serial
 /// vs modeled busy time); 4 = added the `incremental` top-level member
 /// (delta-maintenance counters: maintained / rebuild / fallback firings
-/// and rows reused vs recomputed vs retracted).
-pub const JSON_SCHEMA_VERSION: u64 = 4;
+/// and rows reused vs recomputed vs retracted); 5 = added the `overload`
+/// top-level member (bounded-ingest counters: shed events, tuples shed,
+/// admission rejections, state transitions, catch-up replays, degraded
+/// firings).
+pub const JSON_SCHEMA_VERSION: u64 = 5;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 4):
+/// Document layout (`schema_version` 5):
 ///
 /// ```json
 /// {
-///   "schema_version": 4,
+///   "schema_version": 5,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
@@ -42,6 +46,10 @@ pub const JSON_SCHEMA_VERSION: u64 = 4;
 ///                   "serial_busy_ns", "modeled_busy_ns", "region_wall_ns" },
 ///   "incremental": { "incremental_firings", "rebuild_firings", "fallback_firings",
 ///                    "rows_reused", "rows_recomputed", "rows_retracted" },
+///   "overload":   { "sheds_drop_oldest", "sheds_sampled", "tuples_shed",
+///                   "admission_rejected", "state_transitions", "catchup_replays",
+///                   "catchup_replayed_tuples", "degraded_firings",
+///                   "incremental_rebuilds" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
@@ -56,7 +64,9 @@ pub const JSON_SCHEMA_VERSION: u64 = 4;
 /// zero when every region ran on a single lane — see `wukong-net`'s
 /// `WorkerPool` for the modeled-time cost model); `incremental` carries
 /// the delta-maintenance counters (all zero unless the engine ran with
-/// `EngineConfig::incremental`).
+/// `EngineConfig::incremental`); `overload` carries the bounded-ingest
+/// counters (all zero unless the engine ran with
+/// `EngineConfig::ingest_budget`).
 ///
 /// where every `{...}` stage/histogram entry carries
 /// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
@@ -138,6 +148,7 @@ impl BenchJson {
         doc.set("recovery", Json::object());
         doc.set("pool", Json::object());
         doc.set("incremental", Json::object());
+        doc.set("overload", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -218,6 +229,19 @@ impl BenchJson {
         *self.member("incremental") = o;
     }
 
+    /// Records the bounded-ingest / load-shedding counters (usually an
+    /// interval delta).
+    pub fn overload(&mut self, snap: &OverloadSnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("overload") = o;
+    }
+
     /// Records a recovery's replay metrics.
     pub fn recovery(&mut self, r: &RecoveryReport) {
         if !self.active() {
@@ -262,6 +286,7 @@ impl BenchJson {
         self.faults(&engine.handle().fault_counters());
         self.pool(&engine.handle().obs().pool().snapshot());
         self.incremental(&engine.handle().obs().incremental().snapshot());
+        self.overload(&engine.handle().obs().overload().snapshot());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -309,7 +334,7 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
@@ -321,10 +346,39 @@ mod bench_json_tests {
             "recovery",
             "pool",
             "incremental",
+            "overload",
             "stages",
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn overload_section_round_trips() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let snap = OverloadSnapshot {
+            sheds_drop_oldest: 4,
+            tuples_shed: 320,
+            admission_rejected: 2,
+            state_transitions: 3,
+            catchup_replays: 1,
+            catchup_replayed_tuples: 320,
+            degraded_firings: 9,
+            ..Default::default()
+        };
+        j.overload(&snap);
+        let o = j.document().get("overload").unwrap();
+        assert_eq!(o.get("sheds_drop_oldest").and_then(Json::as_u64), Some(4));
+        assert_eq!(o.get("tuples_shed").and_then(Json::as_u64), Some(320));
+        assert_eq!(o.get("admission_rejected").and_then(Json::as_u64), Some(2));
+        assert_eq!(o.get("state_transitions").and_then(Json::as_u64), Some(3));
+        assert_eq!(o.get("catchup_replays").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            o.get("catchup_replayed_tuples").and_then(Json::as_u64),
+            Some(320)
+        );
+        assert_eq!(o.get("degraded_firings").and_then(Json::as_u64), Some(9));
+        assert_eq!(o.get("sheds_sampled").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

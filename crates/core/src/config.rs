@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use wukong_net::{FaultPlan, NetworkProfile};
-use wukong_stream::StalenessBound;
+use wukong_stream::{IngestBudget, ShedPolicy, StalenessBound};
 
 /// How queries execute across the cluster (§5, "Leveraging RDMA").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +111,53 @@ pub struct EngineConfig {
     /// Presets read `WUKONG_INCREMENTAL` (default off). Results are
     /// byte-identical either way; this is purely a latency knob.
     pub incremental: bool,
+    /// Bounded-ingest budget per stream: the maximum backlog of pending
+    /// (enqueued but not yet applied) tuples/bytes the engine will hold
+    /// before shedding load deterministically (DESIGN.md §11). `None`
+    /// (the default) keeps the pre-overload unbounded behaviour — no
+    /// shedding, no admission control, no degraded markers — so every
+    /// existing workload is byte-identical. Presets read
+    /// `WUKONG_INGEST_BUDGET` (a tuple count; unset/0 = unbounded).
+    pub ingest_budget: Option<IngestBudget>,
+    /// Which tuples go when the ingest budget overflows. Only consulted
+    /// when [`EngineConfig::ingest_budget`] is set.
+    pub shed_policy: ShedPolicy,
+    /// Seed for the deterministic sample-within-batch shed mask. Shed
+    /// decisions are a pure function of (seed, stream, batch timestamp),
+    /// so the same seed reproduces the same shed log bit-for-bit.
+    pub shed_seed: u64,
+    /// Deadline/degradation policy for the overload state machine. Only
+    /// consulted when [`EngineConfig::ingest_budget`] is set.
+    pub overload: OverloadPolicy,
+}
+
+/// Deadline-aware degradation policy (DESIGN.md §11): when continuous
+/// firings sustainedly miss the latency budget the engine trips from
+/// `Normal` into `Shedding` (one-shot queries are rejected first — they
+/// have no freshness contract), and once the overload subsides it replays
+/// the shed suffix (`CatchUp`) and converges back to `Normal`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadPolicy {
+    /// Per-firing latency budget in virtual milliseconds. Firings are
+    /// "misses" when their simulated latency exceeds this.
+    pub latency_budget_ms: f64,
+    /// Consecutive firing misses before the state machine trips from
+    /// `Normal` to `Shedding` even without a queue overflow.
+    pub trip_after_misses: u32,
+    /// Quiet period: once stream time passes the last shed timestamp by
+    /// this many milliseconds, the engine enters `CatchUp`, replays the
+    /// retained shed suffix, and returns to `Normal`.
+    pub catchup_quiet_ms: u64,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy {
+            latency_budget_ms: 1.0,
+            trip_after_misses: 3,
+            catchup_quiet_ms: 2_000,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -132,6 +179,40 @@ impl EngineConfig {
             rpc: RpcPolicy::default(),
             worker_threads: Self::worker_threads_from_env(),
             incremental: Self::incremental_from_env(),
+            ingest_budget: Self::ingest_budget_from_env(),
+            shed_policy: ShedPolicy::default(),
+            shed_seed: 42,
+            overload: OverloadPolicy::default(),
+        }
+    }
+
+    /// The `WUKONG_INGEST_BUDGET` environment override for
+    /// [`EngineConfig::ingest_budget`]: a per-stream pending-tuple cap.
+    /// Unset, unparsable, or `0` means unbounded (the pre-overload
+    /// behaviour). CI's matrix runs the suite with a budget installed to
+    /// prove bounded ingest never changes results while no shed fires.
+    pub fn ingest_budget_from_env() -> Option<IngestBudget> {
+        std::env::var("WUKONG_INGEST_BUDGET")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .map(IngestBudget::tuples)
+    }
+
+    /// Returns this configuration with the ingest budget set (`None`
+    /// restores unbounded ingest).
+    pub fn with_ingest_budget(self, budget: Option<IngestBudget>) -> Self {
+        EngineConfig {
+            ingest_budget: budget,
+            ..self
+        }
+    }
+
+    /// Returns this configuration with the shed policy set.
+    pub fn with_shed_policy(self, policy: ShedPolicy) -> Self {
+        EngineConfig {
+            shed_policy: policy,
+            ..self
         }
     }
 
@@ -236,6 +317,22 @@ mod tests {
             EngineConfig::cluster(3).incremental,
             EngineConfig::single_node().incremental
         );
+    }
+
+    #[test]
+    fn overload_knobs() {
+        // Budget defaults from the environment (unbounded unless
+        // WUKONG_INGEST_BUDGET is set, in which case CI's matrix leg is
+        // in charge); builders pin it either way.
+        let c = EngineConfig::single_node().with_ingest_budget(Some(IngestBudget::tuples(128)));
+        assert_eq!(c.ingest_budget.unwrap().max_tuples, 128);
+        assert!(c.with_ingest_budget(None).ingest_budget.is_none());
+        let c = EngineConfig::single_node().with_shed_policy(ShedPolicy::SampleWithinBatch);
+        assert_eq!(c.shed_policy, ShedPolicy::SampleWithinBatch);
+        let p = OverloadPolicy::default();
+        assert!(p.latency_budget_ms > 0.0);
+        assert!(p.trip_after_misses >= 1);
+        assert!(p.catchup_quiet_ms > 0);
     }
 
     #[test]

@@ -18,12 +18,15 @@ use std::sync::Arc;
 use wukong_net::{NodeId, TaskTimer};
 use wukong_obs::{Stage, StageTrace};
 use wukong_query::exec::{ExecContext, StringLiteralResolver, WindowInstance};
-use wukong_query::{parse_query, plan_query, Plan, Query, QueryError, QueryKind, ResultSet};
+use wukong_query::{
+    parse_query, plan_query, Degraded, Plan, Query, QueryError, QueryKind, ResultSet,
+};
 use wukong_rdf::{StreamId, StringServer, Timestamp, Triple};
 use wukong_store::gc;
 use wukong_stream::window::StreamWindow;
 use wukong_stream::{
-    dispatch, Adaptor, Batch, Coordinator, InjectStats, StreamSchema, Vts, WindowState,
+    dispatch, Adaptor, Batch, Coordinator, InjectStats, ShedRecord, Shedder, StreamSchema, Vts,
+    WindowState,
 };
 
 /// Handle of a registered continuous query.
@@ -76,6 +79,24 @@ pub struct RecoveryReport {
     pub restored_stable_sn: u64,
 }
 
+/// The deadline-aware degradation state machine (DESIGN.md §11).
+///
+/// Only meaningful when [`EngineConfig::ingest_budget`] is set; an
+/// unbounded engine stays in `Normal` forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadState {
+    /// Keeping up: no pending shed tuples, firings inside the budget.
+    #[default]
+    Normal,
+    /// Overloaded: the shedder has dropped tuples (or firings sustainedly
+    /// missed the latency budget) and one-shot admission is closed.
+    Shedding,
+    /// Transient: replaying the retained shed suffix. Observable only
+    /// through counters — the replay runs synchronously under the
+    /// pipeline lock and lands back in `Normal`.
+    CatchUp,
+}
+
 /// One execution of a continuous query.
 #[derive(Debug, Clone)]
 pub struct Firing {
@@ -124,12 +145,25 @@ struct Pipeline {
     /// Stalled batches per stream, FIFO (injection order within a stream
     /// is a consistency requirement, §4.3).
     pending: Vec<std::collections::VecDeque<Batch>>,
+    /// Coalesced clock jumps per stream, FIFO: `(after, to)` pairs from
+    /// the adaptor, applied to the coordinator once the batch ending
+    /// `after` is inserted on every node (see `drain_pending`).
+    clock_jumps: Vec<std::collections::VecDeque<(Timestamp, Timestamp)>>,
     batches_done: Vec<u64>,
     inject_stats: Vec<InjectStats>,
     /// Injection-time consolidation horizon (stable SN − 1).
     merge_upto: Option<wukong_store::SnapshotId>,
     /// Batches logged since the last checkpoint (fault tolerance).
     log: Vec<LoggedBatch>,
+    /// Bounded-ingest shedder (inert while `ingest_budget` is `None`).
+    shedder: Shedder,
+    /// Degradation state machine (DESIGN.md §11).
+    overload: OverloadState,
+    /// Consecutive continuous firings over the latency budget.
+    miss_streak: u32,
+    /// Stream time when a latency-miss streak tripped the state machine
+    /// (shed-driven trips anchor on the shedder's `last_shed_ts`).
+    tripped_at: Option<Timestamp>,
 }
 
 /// A Wukong+S deployment.
@@ -159,10 +193,15 @@ impl WukongS {
                 adaptors: Vec::new(),
                 coordinator,
                 pending: Vec::new(),
+                clock_jumps: Vec::new(),
                 batches_done: Vec::new(),
                 inject_stats: Vec::new(),
                 merge_upto: None,
                 log: Vec::new(),
+                shedder: Shedder::new(cfg.shed_policy, cfg.shed_seed),
+                overload: OverloadState::Normal,
+                miss_streak: 0,
+                tripped_at: None,
             }),
             registry: RwLock::new(Vec::new()),
             next_home: AtomicUsize::new(0),
@@ -212,6 +251,7 @@ impl WukongS {
         pl.adaptors.push(Adaptor::new(schema));
         pl.coordinator.add_stream(interval);
         pl.pending.push(Default::default());
+        pl.clock_jumps.push(Default::default());
         pl.batches_done.push(0);
         pl.inject_stats.push(InjectStats::default());
         StreamId(idx as u16)
@@ -244,15 +284,20 @@ impl WukongS {
             self.enqueue_batch(&mut pl, b);
         }
         self.drain_pending(&mut pl);
+        self.maybe_catch_up(&mut pl);
     }
 
     /// Drains each adaptor's accumulated windowing/sealing time into its
-    /// stream's `Adaptor` stage histogram.
+    /// stream's `Adaptor` stage histogram, and its coalesced clock-jump
+    /// count into the stream's injection stats.
     fn drain_adaptor_work(&self, pl: &mut Pipeline) {
-        for a in &mut pl.adaptors {
-            let ns = a.take_work_ns();
+        for i in 0..pl.adaptors.len() {
+            let ns = pl.adaptors[i].take_work_ns();
+            pl.inject_stats[i].clock_anomalies += pl.adaptors[i].take_clock_anomalies();
+            let jumps = pl.adaptors[i].take_clock_jumps();
+            pl.clock_jumps[i].extend(jumps);
             if ns > 0 {
-                let name = a.schema().name.clone();
+                let name = pl.adaptors[i].schema().name.clone();
                 self.cluster
                     .obs()
                     .record_stream_stage(&name, Stage::Adaptor, ns);
@@ -276,6 +321,7 @@ impl WukongS {
             self.enqueue_batch(&mut pl, b);
         }
         self.drain_pending(&mut pl);
+        self.maybe_catch_up(&mut pl);
     }
 
     /// Raw arrival volume of a batch in its textual RDF form (Table 7
@@ -317,6 +363,213 @@ impl WukongS {
             pl.inject_stats[s].inject_ns += LOGGING_DELAY_NS;
         }
         pl.pending[s].push_back(batch);
+
+        // Bounded ingest: enforce the per-stream budget over the pending
+        // queue. Shed decisions are a pure function of queue occupancy
+        // and the configured seed — never wall-clock latency — so the
+        // shed log and every degraded marker are byte-identical across
+        // runs and worker counts (DESIGN.md §11).
+        let Some(budget) = self.cfg.ingest_budget else {
+            return;
+        };
+        let t0 = std::time::Instant::now();
+        let shed = pl.shedder.enforce(&mut pl.pending[s], &budget);
+        if shed > 0 {
+            let overload = self.cluster.obs().overload();
+            match pl.shedder.policy() {
+                wukong_stream::ShedPolicy::DropOldestWindow => overload.inc_shed_drop_oldest(),
+                wukong_stream::ShedPolicy::SampleWithinBatch => overload.inc_shed_sampled(),
+            }
+            overload.add_tuples_shed(shed);
+            if pl.overload == OverloadState::Normal {
+                pl.overload = OverloadState::Shedding;
+                overload.inc_state_transition();
+            }
+            let name = self.cluster.stream(s).schema.name.clone();
+            self.cluster.obs().record_stream_stage(
+                &name,
+                Stage::Shed,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
+    /// The engine-wide stream time: the furthest any stream's stable VTS
+    /// entry has reached. Drives the deterministic catch-up trigger.
+    fn stream_now(pl: &Pipeline) -> Timestamp {
+        pl.coordinator
+            .stable_vts()
+            .entries()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Leaves `Shedding` once the overload subsides: when stream time
+    /// passes the last shed (or latency trip) by the configured quiet
+    /// period and every node is reachable, replay the retained shed
+    /// suffix and return to `Normal`. The trigger reads only stream time
+    /// and shedder state, so it fires at the same point in every run.
+    fn maybe_catch_up(&self, pl: &mut Pipeline) {
+        if self.cfg.ingest_budget.is_none() || pl.overload != OverloadState::Shedding {
+            return;
+        }
+        let now = Self::stream_now(pl);
+        let anchor = match (pl.shedder.last_shed_ts(), pl.tripped_at) {
+            (Some(a), Some(b)) => a.max(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            // Tripped state without a recorded cause cannot linger.
+            (None, None) => 0,
+        };
+        if now < anchor.saturating_add(self.cfg.overload.catchup_quiet_ms) {
+            return;
+        }
+        // A replay inserts on every node; a dead or unreachable node
+        // would miss its share, so wait the outage out.
+        let fabric = self.cluster.fabric();
+        if (0..self.cluster.nodes()).any(|n| !fabric.is_up(NodeId(n as u16))) {
+            return;
+        }
+        self.catch_up(pl);
+    }
+
+    /// Shed-then-catch-up recovery: re-inserts every retained shed tuple
+    /// at its original timestamp, directly into the hybrid store at the
+    /// current stable snapshot. The coordinator, its at-least-once dedup,
+    /// and the durable log are all bypassed — these batches already
+    /// passed the pipeline once; this is repair, not re-ingestion. After
+    /// the replay, windows covering the shed suffix are whole again:
+    /// their firings byte-match a never-overloaded run (DESIGN.md §11).
+    fn catch_up(&self, pl: &mut Pipeline) {
+        let t0 = std::time::Instant::now();
+        let overload = self.cluster.obs().overload();
+        pl.overload = OverloadState::CatchUp;
+        overload.inc_state_transition();
+
+        let retained = pl.shedder.take_retained();
+        let sn = pl.coordinator.stable_sn();
+        let merge = pl.merge_upto;
+        let nodes = self.cluster.nodes();
+        let fabric = self.cluster.fabric();
+        let mut scratch = TaskTimer::start();
+        let mut replayed = 0u64;
+        let mut touched: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for (stream_id, ts, tuples) in retained {
+            let s = stream_id.0 as usize;
+            touched.insert(s);
+            replayed += tuples.len() as u64;
+            let batch = Batch {
+                stream: stream_id,
+                timestamp: ts,
+                tuples,
+                discarded: 0,
+            };
+            let stream = self.cluster.stream(s);
+            *stream.raw_bytes.write() += self.textual_bytes(&batch);
+            let subs = dispatch(&batch, self.cluster.shard_map());
+            let entry = NodeId((s % nodes) as u16);
+            let mut receipts: Vec<Vec<wukong_store::base::AppendReceipt>> = vec![Vec::new(); nodes];
+            let mut index_updates: Vec<(wukong_rdf::Key, wukong_rdf::Vid)> = Vec::new();
+            for sub in &subs {
+                let node = sub.node;
+                if node as usize != entry.0 as usize && !sub.tuples.is_empty() {
+                    fabric.charge_message(entry, NodeId(node), sub.wire_bytes(), &mut scratch);
+                }
+                let owns = self.cluster.shard_map().owner_filter(node);
+                let shard = self.cluster.shard(node);
+                for t in sub.tuples.iter().filter(|t| t.is_timeless()) {
+                    let tr = t.triple;
+                    let out_key = tr.out_key();
+                    if owns(out_key) {
+                        shard.count_triple();
+                        let (off, first) = shard.append_owned(out_key, tr.o, sn, merge);
+                        receipts[node as usize].push(wukong_store::base::AppendReceipt {
+                            key: out_key,
+                            offset: off,
+                        });
+                        if first {
+                            index_updates
+                                .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::Out), tr.s));
+                        }
+                    }
+                    let in_key = tr.in_key();
+                    if owns(in_key) {
+                        let (off, first) = shard.append_owned(in_key, tr.s, sn, merge);
+                        receipts[node as usize].push(wukong_store::base::AppendReceipt {
+                            key: in_key,
+                            offset: off,
+                        });
+                        if first {
+                            index_updates
+                                .push((wukong_rdf::Key::index(tr.p, wukong_rdf::Dir::In), tr.o));
+                        }
+                    }
+                }
+                // Timing tuples re-enter the transient ring *in time
+                // order* — the ring normally only appends at the tail,
+                // so replay uses the order-preserving insertion path.
+                let timing: Vec<wukong_rdf::StreamTuple> = sub
+                    .tuples
+                    .iter()
+                    .filter(|t| !t.is_timeless())
+                    .copied()
+                    .collect();
+                if !timing.is_empty() {
+                    stream.transients[node as usize].write().insert_slice(
+                        wukong_store::TransientSlice::from_batch_filtered(ts, &timing, &owns),
+                    );
+                }
+            }
+            // Index-vertex updates land on their owners (phase 2 of the
+            // normal injection path).
+            for (key, v) in index_updates {
+                let node = self.cluster.shard_map().node_of_key(key);
+                let (off, _) = self.cluster.shard(node).append_owned(key, v, sn, merge);
+                receipts[node as usize]
+                    .push(wukong_store::base::AppendReceipt { key, offset: off });
+            }
+            for (node, rc) in receipts.iter().enumerate() {
+                if rc.is_empty() {
+                    continue;
+                }
+                let ib = wukong_store::IndexBatch::from_receipts(ts, rc);
+                stream.indexes[node].write().insert_batch(ib);
+            }
+        }
+
+        // A replay rewrites window history behind any maintained query
+        // reading a replayed stream: its retained delta rows were derived
+        // from the shed (incomplete) windows. Drop the state so the next
+        // firing rebuilds from the now-complete store — recompute and
+        // incremental stay byte-identical across the shed gap.
+        if self.cfg.incremental {
+            for r in self.registry.read().iter() {
+                if r.retired.load(Ordering::Relaxed)
+                    || !r.stream_map.iter().any(|s| touched.contains(s))
+                {
+                    continue;
+                }
+                let mut delta = r.delta.lock();
+                if delta.is_some() {
+                    *delta = None;
+                    overload.inc_incremental_rebuild();
+                }
+            }
+        }
+
+        overload.inc_catchup_replay();
+        overload.add_replayed_tuples(replayed);
+        pl.overload = OverloadState::Normal;
+        pl.miss_streak = 0;
+        pl.tripped_at = None;
+        overload.inc_state_transition();
+        self.cluster.obs().record_stream_stage(
+            "catch-up",
+            Stage::CatchUp,
+            t0.elapsed().as_nanos() as u64,
+        );
     }
 
     /// Processes pending batches until no stream can make progress.
@@ -324,6 +577,7 @@ impl WukongS {
         loop {
             let mut progressed = false;
             for s in 0..pl.pending.len() {
+                progressed |= self.apply_clock_jumps(pl, s);
                 while let Some(front) = pl.pending[s].front() {
                     let sn = pl.coordinator.snapshot_for(s, front.timestamp);
                     match sn {
@@ -342,6 +596,33 @@ impl WukongS {
         }
     }
 
+    /// Applies stream `s`'s coalesced clock jumps that have become safe:
+    /// a jump `(after, to)` promises the adaptor sealed nothing strictly
+    /// between `after` and `to`, so once the batch ending `after` is
+    /// inserted on **every** node (a dead node catches up via log
+    /// replay first — jumping its VTS over a batch it missed would make
+    /// the redelivery dedup swallow real data), the skipped grid points
+    /// are vacuously-empty insertions and the VTS may cross the gap.
+    /// This is what un-stalls the SN-VTS plan after a quiet gap: its
+    /// targets inside the gap can never be reached batch-by-batch.
+    fn apply_clock_jumps(&self, pl: &mut Pipeline, s: usize) -> bool {
+        let mut progressed = false;
+        while let Some(&(after, to)) = pl.clock_jumps[s].front() {
+            let reached =
+                (0..pl.coordinator.nodes()).all(|n| pl.coordinator.local_vts(n).get(s) >= after);
+            if !reached {
+                break;
+            }
+            pl.clock_jumps[s].pop_front();
+            let ev = pl.coordinator.advance_gap(s, to);
+            if let Some(upto) = ev.consolidate_upto {
+                pl.merge_upto = Some(upto);
+            }
+            progressed = true;
+        }
+        progressed
+    }
+
     fn process_batch(&self, pl: &mut Pipeline, batch: Batch, sn: wukong_store::SnapshotId) {
         let s = batch.stream.0 as usize;
         // At-least-once suppression: a batch at or below the stream's
@@ -354,6 +635,7 @@ impl WukongS {
         }
         let stream = self.cluster.stream(s);
         *stream.raw_bytes.write() += self.textual_bytes(&batch);
+        pl.inject_stats[s].discarded += batch.discarded;
 
         // Dispatch: the stream enters at one node; each non-empty remote
         // sub-batch costs a message (background cost, counted in fabric
@@ -1011,8 +1293,11 @@ impl WukongS {
             };
             // CONSTRUCT feeding and firing emission stay serialized on
             // the coordinator side, in window order.
-            for (instances, (results, latency_ms, stages)) in executed {
+            for (instances, (mut results, latency_ms, stages)) in executed {
                 let window_end = instances.first().map(|i| i.2).unwrap_or(0);
+                if self.cfg.ingest_budget.is_some() {
+                    self.degrade_and_track(&instances, &mut results, latency_ms);
+                }
                 // CONSTRUCT firings feed their derived stream with
                 // IStream semantics: only rows new relative to the
                 // previous firing are instantiated, so sliding windows do
@@ -1054,6 +1339,72 @@ impl WukongS {
             }
         }
         out
+    }
+
+    /// Exact staleness accounting for one firing: if any consumed window
+    /// covers a batch the shedder dropped tuples from (and has not yet
+    /// replayed), the firing's result carries a `degraded` marker with
+    /// the precise shed count and window tally. Also advances the
+    /// latency-miss streak of the degradation state machine — the only
+    /// wall-clock input, and it only ever *opens* shedding (admission
+    /// control), never drives a shed decision, so determinism holds.
+    fn degrade_and_track(
+        &self,
+        instances: &[(usize, Timestamp, Timestamp)],
+        results: &mut ResultSet,
+        latency_ms: f64,
+    ) {
+        let mut pl = self.pipeline.lock();
+        let mut tuples_shed = 0u64;
+        let mut windows_affected = 0u32;
+        for &(s, lo, hi) in instances {
+            let n = pl.shedder.outstanding_in(StreamId(s as u16), lo, hi);
+            if n > 0 {
+                tuples_shed += n;
+                windows_affected += 1;
+            }
+        }
+        if tuples_shed > 0 {
+            results.degraded = Some(Degraded {
+                tuples_shed,
+                windows_affected,
+            });
+            self.cluster.obs().overload().inc_degraded_firing();
+        }
+        if latency_ms > self.cfg.overload.latency_budget_ms {
+            pl.miss_streak += 1;
+            if pl.miss_streak >= self.cfg.overload.trip_after_misses
+                && pl.overload == OverloadState::Normal
+            {
+                pl.overload = OverloadState::Shedding;
+                pl.tripped_at = Some(Self::stream_now(&pl));
+                self.cluster.obs().overload().inc_state_transition();
+            }
+        } else {
+            pl.miss_streak = 0;
+        }
+    }
+
+    /// The degradation state machine's current state.
+    pub fn overload_state(&self) -> OverloadState {
+        self.pipeline.lock().overload
+    }
+
+    /// The append-only shed log — the determinism witness: same seed,
+    /// same spike ⇒ byte-identical logs across runs and worker counts.
+    pub fn shed_log(&self) -> Vec<ShedRecord> {
+        self.pipeline.lock().shedder.log().to_vec()
+    }
+
+    /// Total tuples ever shed (including any later replayed).
+    pub fn total_shed(&self) -> u64 {
+        self.pipeline.lock().shedder.total_shed()
+    }
+
+    /// Shed tuples not yet restored by a catch-up replay — the exact
+    /// staleness currently visible to degraded firings.
+    pub fn shed_outstanding(&self) -> u64 {
+        self.pipeline.lock().shedder.outstanding_total()
     }
 
     /// Executes a registered query once against its *current* windows
@@ -1102,6 +1453,16 @@ impl WukongS {
 
         let (sn, windows) = {
             let pl = self.pipeline.lock();
+            // Admission control: while the engine sheds load, one-shot
+            // work is turned away before continuous queries degrade —
+            // one-shots have no freshness contract and can retry later
+            // (DESIGN.md §11). Unbounded engines never reject.
+            if self.cfg.ingest_budget.is_some() && pl.overload != OverloadState::Normal {
+                self.cluster.obs().overload().inc_admission_rejected();
+                return Err(QueryError::Overloaded(
+                    "the engine is shedding load; retry after catch-up".into(),
+                ));
+            }
             let sn = pl.coordinator.stable_sn();
             if query.streams.is_empty() {
                 if query.touches_stream() {
@@ -1619,6 +1980,96 @@ mod tests {
         assert!(after.batches_processed >= 5);
         assert!(after.raw_stream_bytes > 0);
         assert!(after.stable_sn > before.stable_sn);
+    }
+
+    #[test]
+    fn overload_sheds_marks_firings_and_catches_up() {
+        let mut cfg = EngineConfig::single_node()
+            .with_ingest_budget(Some(wukong_stream::IngestBudget::tuples(8)));
+        // Keep the wall-clock latency trip out of this test: only the
+        // deterministic queue-overflow path should drive the states.
+        cfg.overload.latency_budget_ms = 1e9;
+        let engine = WukongS::new(cfg);
+        let ss = engine.strings().clone();
+        let po = engine.register_stream(StreamSchema::timeless(StreamId(0), "PO", 100));
+        engine
+            .register_continuous(
+                "REGISTER QUERY q SELECT ?X FROM PO [RANGE 1s STEP 200ms] \
+                 WHERE { GRAPH PO { ?X po ?Z } }",
+            )
+            .expect("register");
+
+        // A 20-tuple burst lands in one 100 ms interval — 2.5× budget.
+        for i in 0..20u64 {
+            let t = ntriples::parse_tuple(&ss, &format!("u{i} po T-{i} {}", 110 + i), 1)
+                .expect("tuple");
+            engine.ingest(po, t.triple, t.timestamp);
+        }
+        engine.advance_time(1_000);
+        // Liveness: the VTS advanced right through the overload.
+        assert_eq!(engine.stable_ts(po), 1_000);
+        assert_eq!(engine.overload_state(), OverloadState::Shedding);
+        assert_eq!(engine.total_shed(), 20, "drop-oldest empties the burst");
+        assert_eq!(engine.shed_outstanding(), 20);
+
+        // Exact staleness: every firing whose window covers the shed
+        // batch carries the precise marker.
+        let firings = engine.fire_ready();
+        assert!(!firings.is_empty());
+        let degraded: Vec<_> = firings.iter().filter_map(|f| f.results.degraded).collect();
+        assert_eq!(degraded.len(), firings.len());
+        assert!(degraded
+            .iter()
+            .all(|d| d.tuples_shed == 20 && d.windows_affected == 1));
+
+        // Admission control: one-shots are rejected while shedding.
+        assert!(matches!(
+            engine.one_shot("SELECT ?X WHERE { ?X po T-0 }"),
+            Err(QueryError::Overloaded(_))
+        ));
+
+        // The quiet period passes → catch-up replays the shed suffix.
+        engine.advance_time(2_400);
+        assert_eq!(engine.overload_state(), OverloadState::Normal);
+        assert_eq!(engine.shed_outstanding(), 0);
+        assert_eq!(engine.shed_log().len(), 1, "the log is append-only");
+        let (rs, _) = engine
+            .one_shot("SELECT ?X WHERE { ?X po T-7 }")
+            .expect("admitted again after catch-up");
+        assert_eq!(rs.rows.len(), 1, "the replayed tuple is in the store");
+
+        // Post-catch-up firings are whole again: no markers.
+        let firings = engine.fire_ready();
+        assert!(!firings.is_empty());
+        assert!(firings.iter().all(|f| f.results.degraded.is_none()));
+
+        let snap = engine.handle().obs().overload().snapshot();
+        assert_eq!(snap.tuples_shed, 20);
+        assert_eq!(snap.catchup_replayed_tuples, 20);
+        assert_eq!(snap.catchup_replays, 1);
+        assert!(snap.admission_rejected >= 1);
+        // Normal→Shedding, Shedding→CatchUp, CatchUp→Normal.
+        assert_eq!(snap.state_transitions, 3);
+    }
+
+    #[test]
+    fn unbounded_engine_never_sheds_or_rejects() {
+        // No budget ⇒ the whole overload subsystem is inert: this is the
+        // byte-identity guarantee for every pre-existing workload.
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        for i in 0..200u64 {
+            let t = ntriples::parse_tuple(&ss, &format!("u{i} po T-{i} {}", 110 + i), 1)
+                .expect("tuple");
+            engine.ingest(po, t.triple, t.timestamp);
+        }
+        engine.advance_time(1_000);
+        assert_eq!(engine.overload_state(), OverloadState::Normal);
+        assert_eq!(engine.total_shed(), 0);
+        assert!(engine.shed_log().is_empty());
+        assert!(engine.one_shot("SELECT ?X WHERE { ?X po T-0 }").is_ok());
+        let snap = engine.handle().obs().overload().snapshot();
+        assert_eq!(snap, Default::default());
     }
 
     #[test]

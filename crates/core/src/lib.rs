@@ -64,7 +64,7 @@ pub mod recovery;
 
 pub use client::{Client, Prepared, ProxyPool, Submitted};
 pub use cluster::ClusterHandle;
-pub use config::{EngineConfig, ExecMode, RpcPolicy};
-pub use engine::{ContinuousId, DeploymentStats, Firing, RecoveryReport, WukongS};
+pub use config::{EngineConfig, ExecMode, OverloadPolicy, RpcPolicy};
+pub use engine::{ContinuousId, DeploymentStats, Firing, OverloadState, RecoveryReport, WukongS};
 pub use metrics::LatencyRecorder;
 pub use recovery::RecoveryManager;

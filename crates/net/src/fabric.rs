@@ -140,10 +140,19 @@ impl Fabric {
         if from == to {
             return 0;
         }
-        let ns = self.profile.read_cost(bytes);
+        let ns = self.scale(from, to, self.profile.read_cost(bytes));
         self.metrics.record_read(bytes, ns);
         timer.charge(ns);
         ns
+    }
+
+    /// Applies the installed slow-node profile (if any) to a charged
+    /// duration: operations touching a slowed endpoint cost more.
+    fn scale(&self, from: NodeId, to: NodeId, ns: u64) -> u64 {
+        match &self.faults {
+            Some(f) => f.scale_ns(from, to, ns),
+            None => ns,
+        }
     }
 
     /// Charges `timer` for one two-sided message of `bytes` between two
@@ -158,7 +167,7 @@ impl Fabric {
         if from == to {
             return 0;
         }
-        let ns = self.profile.message_cost(bytes);
+        let ns = self.scale(from, to, self.profile.message_cost(bytes));
         self.metrics.record_message(bytes, ns);
         timer.charge(ns);
         ns
@@ -285,7 +294,10 @@ impl<T> Endpoint<T> {
         let ns = if to == self.node {
             0
         } else {
-            let ns = self.profile.message_cost(bytes);
+            let mut ns = self.profile.message_cost(bytes);
+            if let Some(f) = &self.faults {
+                ns = f.scale_ns(self.node, to, ns);
+            }
             self.metrics.record_message(bytes, ns);
             ns
         };

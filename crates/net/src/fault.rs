@@ -47,12 +47,37 @@ pub struct LinkFault {
     pub delay_p: f64,
     /// Extra charged latency applied to delayed messages.
     pub delay_ns: u64,
+    /// Simulated-time window `[from_ms, until_ms)` the rule is active in;
+    /// `None` = always. An inactive rule neither matches nor draws from
+    /// the RNG, so clock-windowed rules keep the draw sequence a pure
+    /// function of the outcomes.
+    pub window: Option<(u64, u64)>,
 }
 
 impl LinkFault {
-    fn matches(&self, from: NodeId, to: NodeId) -> bool {
-        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    fn matches(&self, from: NodeId, to: NodeId, now_ms: u64) -> bool {
+        self.window
+            .is_none_or(|(lo, hi)| now_ms >= lo && now_ms < hi)
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
     }
+}
+
+/// A gray-failure rule: `node` runs slow (all fabric operations touching
+/// it are charged `factor_x100 / 100` times their normal cost) during a
+/// simulated-time window. Purely a function of the simulated clock — no
+/// RNG draw — so slow nodes never perturb the lossy-link draw sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowNode {
+    /// The slowed node.
+    pub node: NodeId,
+    /// Slowdown multiplier times 100 (`250` = 2.5× slower). Values at or
+    /// below 100 are no-ops.
+    pub factor_x100: u64,
+    /// Simulated time the slowdown starts (inclusive).
+    pub from_ms: u64,
+    /// Simulated time the slowdown ends (exclusive); `u64::MAX` = forever.
+    pub until_ms: u64,
 }
 
 /// One entry of the kill/restart schedule, in simulated milliseconds.
@@ -75,6 +100,8 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// Kill/restart schedule (fired as the engine advances stream time).
     pub schedule: Vec<ScheduledEvent>,
+    /// Gray-failure slowdown rules (clock-driven, no RNG).
+    pub slow_nodes: Vec<SlowNode>,
 }
 
 impl FaultPlan {
@@ -135,6 +162,48 @@ impl FaultPlan {
             delay_p,
             delay_ns,
             ..LinkFault::default()
+        });
+        self
+    }
+
+    /// Makes every link delay messages by `delay_ns` with probability
+    /// `delay_p`, but only while the simulated clock is inside
+    /// `[from_ms, until_ms)` — a delayed-but-not-dead episode.
+    pub fn delayed_during(
+        mut self,
+        delay_p: f64,
+        delay_ns: u64,
+        from_ms: u64,
+        until_ms: u64,
+    ) -> Self {
+        self.links.push(LinkFault {
+            delay_p,
+            delay_ns,
+            window: Some((from_ms, until_ms)),
+            ..LinkFault::default()
+        });
+        self
+    }
+
+    /// Slows `node` down by `factor_x100 / 100` for the whole run.
+    pub fn slow_node(self, node: NodeId, factor_x100: u64) -> Self {
+        self.slow_node_during(node, factor_x100, 0, u64::MAX)
+    }
+
+    /// Slows `node` down by `factor_x100 / 100` while the simulated clock
+    /// is inside `[from_ms, until_ms)`.
+    pub fn slow_node_during(
+        mut self,
+        node: NodeId,
+        factor_x100: u64,
+        from_ms: u64,
+        until_ms: u64,
+    ) -> Self {
+        self.slow_nodes.push(SlowNode {
+            node,
+            factor_x100,
+            from_ms,
+            until_ms,
         });
         self
     }
@@ -320,7 +389,8 @@ impl FaultState {
     /// duplicate/delay draws, so the draw sequence is a pure function of
     /// the outcomes.
     pub fn decide_link(&self, from: NodeId, to: NodeId) -> Delivery {
-        let Some(rule) = self.plan.links.iter().find(|r| r.matches(from, to)) else {
+        let now = self.clock_ms.load(Ordering::Relaxed);
+        let Some(rule) = self.plan.links.iter().find(|r| r.matches(from, to, now)) else {
             return Delivery::CLEAN;
         };
         let mut rng = self.rng.lock();
@@ -351,6 +421,31 @@ impl FaultState {
             0
         };
         Delivery { copies, extra_ns }
+    }
+
+    /// The slowdown multiplier (×100) currently applying to `node`: the
+    /// maximum over active [`SlowNode`] rules, or 100 when none match.
+    /// Purely a function of the plan and the simulated clock.
+    pub fn slow_factor_x100(&self, node: NodeId) -> u64 {
+        let now = self.clock_ms.load(Ordering::Relaxed);
+        self.plan
+            .slow_nodes
+            .iter()
+            .filter(|s| s.node == node && now >= s.from_ms && now < s.until_ms)
+            .map(|s| s.factor_x100)
+            .fold(100, u64::max)
+    }
+
+    /// Scales a charged duration for an operation between `from` and
+    /// `to` by the worse of the two endpoints' slowdown factors, counting
+    /// the operation as slowed when the factor bites.
+    pub fn scale_ns(&self, from: NodeId, to: NodeId, ns: u64) -> u64 {
+        let factor = self.slow_factor_x100(from).max(self.slow_factor_x100(to));
+        if factor <= 100 || ns == 0 {
+            return ns;
+        }
+        self.counters.inc_slowed();
+        ns.saturating_mul(factor) / 100
     }
 
     /// Records a message lost on `from → to`.

@@ -24,6 +24,7 @@ pub struct FaultCounters {
     recoveries: AtomicU64,
     node_kills: AtomicU64,
     node_restarts: AtomicU64,
+    ops_slowed: AtomicU64,
 }
 
 macro_rules! bump {
@@ -65,6 +66,8 @@ impl FaultCounters {
         inc_kill => node_kills,
         /// A dead node was restarted.
         inc_restart => node_restarts,
+        /// A fabric operation was charged extra by a slow-node rule.
+        inc_slowed => ops_slowed,
     }
 
     /// Adds `n` suppressed duplicates at once.
@@ -93,6 +96,7 @@ impl FaultCounters {
             recoveries: self.recoveries.load(Ordering::Relaxed),
             node_kills: self.node_kills.load(Ordering::Relaxed),
             node_restarts: self.node_restarts.load(Ordering::Relaxed),
+            ops_slowed: self.ops_slowed.load(Ordering::Relaxed),
         }
     }
 }
@@ -126,6 +130,8 @@ pub struct FaultSnapshot {
     pub node_kills: u64,
     /// Dead nodes restarted.
     pub node_restarts: u64,
+    /// Fabric operations charged extra by slow-node (gray failure) rules.
+    pub ops_slowed: u64,
 }
 
 impl FaultSnapshot {
@@ -145,11 +151,12 @@ impl FaultSnapshot {
             recoveries: later.recoveries - self.recoveries,
             node_kills: later.node_kills - self.node_kills,
             node_restarts: later.node_restarts - self.node_restarts,
+            ops_slowed: later.ops_slowed - self.ops_slowed,
         }
     }
 
     /// `(name, value)` pairs in display order, for report writers.
-    pub fn entries(&self) -> [(&'static str, u64); 13] {
+    pub fn entries(&self) -> [(&'static str, u64); 14] {
         [
             ("msgs_dropped", self.msgs_dropped),
             ("msgs_duplicated", self.msgs_duplicated),
@@ -164,6 +171,7 @@ impl FaultSnapshot {
             ("recoveries", self.recoveries),
             ("node_kills", self.node_kills),
             ("node_restarts", self.node_restarts),
+            ("ops_slowed", self.ops_slowed),
         ]
     }
 }
@@ -205,10 +213,11 @@ mod tests {
         c.inc_restart();
         c.inc_replayed_batch();
         c.inc_dedup_suppressed();
+        c.inc_slowed();
         let s = c.snapshot();
         let names: std::collections::HashSet<_> = s.entries().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
         let lit: u64 = s.entries().iter().map(|(_, v)| v).sum();
-        assert_eq!(lit, 10);
+        assert_eq!(lit, 11);
     }
 }

@@ -25,6 +25,7 @@ pub mod faults;
 pub mod histogram;
 pub mod incremental;
 pub mod json;
+pub mod overload;
 pub mod pool;
 pub mod registry;
 pub mod stage;
@@ -33,6 +34,7 @@ pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use incremental::{IncrementalCounters, IncrementalSnapshot};
 pub use json::Json;
+pub use overload::{OverloadCounters, OverloadSnapshot};
 pub use pool::{PoolCounters, PoolSnapshot};
 pub use registry::{Registry, RegistrySnapshot, SeriesSnapshot};
 pub use stage::{Stage, StageTrace};

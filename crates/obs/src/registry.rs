@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 use crate::faults::FaultCounters;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::incremental::IncrementalCounters;
+use crate::overload::OverloadCounters;
 use crate::pool::PoolCounters;
 use crate::stage::{Stage, StageTrace};
 
@@ -37,6 +38,7 @@ pub struct Registry {
     faults: Arc<FaultCounters>,
     pool: Arc<PoolCounters>,
     incremental: Arc<IncrementalCounters>,
+    overload: Arc<OverloadCounters>,
 }
 
 fn series_for(
@@ -113,6 +115,12 @@ impl Registry {
     /// and row reuse here.
     pub fn incremental(&self) -> &Arc<IncrementalCounters> {
         &self.incremental
+    }
+
+    /// The shared overload-management counters; the engine's bounded
+    /// ingest, admission control, and catch-up replay record here.
+    pub fn overload(&self) -> &Arc<OverloadCounters> {
+        &self.overload
     }
 
     /// Point-in-time copy of every keyed series.

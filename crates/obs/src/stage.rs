@@ -19,7 +19,10 @@
 //!   stores), `StreamIndex` (appending to the stream index), and `Gc`
 //!   (expiring dead batches). `Recovery` covers one checkpoint-and-log
 //!   replay after an injected crash (§5); it rides the batch family
-//!   because replay re-runs the ingest pipeline.
+//!   because replay re-runs the ingest pipeline. `Shed` covers the
+//!   overload manager dropping tuples from a full ingest queue and
+//!   `CatchUp` covers re-inserting the shed suffix once overload
+//!   subsides; both ride the batch family for the same reason.
 
 /// One stage of a traced execution. See the module docs for semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,11 +42,13 @@ pub enum Stage {
     StreamIndex,
     Gc,
     Recovery,
+    Shed,
+    CatchUp,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 15] = [
         Stage::WindowExtract,
         Stage::PatternMatch,
         Stage::ForkJoinFanout,
@@ -57,6 +62,8 @@ impl Stage {
         Stage::StreamIndex,
         Stage::Gc,
         Stage::Recovery,
+        Stage::Shed,
+        Stage::CatchUp,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -75,6 +82,8 @@ impl Stage {
             Stage::StreamIndex => "stream_index",
             Stage::Gc => "gc",
             Stage::Recovery => "recovery",
+            Stage::Shed => "shed",
+            Stage::CatchUp => "catch_up",
         }
     }
 

@@ -27,6 +27,9 @@ pub enum QueryError {
     Disconnected,
     /// A continuous query referenced a stream with no registered window.
     MissingWindow(String),
+    /// Admission control rejected the query: the engine is shedding load
+    /// and one-shot work is turned away before continuous queries degrade.
+    Overloaded(String),
 }
 
 impl fmt::Display for QueryError {
@@ -43,6 +46,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::MissingWindow(s) => {
                 write!(f, "stream {s} used in GRAPH clause but has no FROM window")
+            }
+            QueryError::Overloaded(s) => {
+                write!(f, "engine overloaded, one-shot query rejected: {s}")
             }
         }
     }

@@ -37,6 +37,23 @@ pub struct ResultSet {
     /// retry budget — their rows are missing (graceful degradation under
     /// injected faults). Empty for complete answers.
     pub unreachable_shards: Vec<u16>,
+    /// Exact staleness accounting when load shedding touched a window
+    /// this execution consumed: `None` means the answer is complete with
+    /// respect to everything ingested. Attached by the engine's overload
+    /// manager — identically for the recompute and incremental paths —
+    /// so a shed never produces a silently wrong answer.
+    pub degraded: Option<Degraded>,
+}
+
+/// The staleness marker of a shed-affected execution (see
+/// [`ResultSet::degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degraded {
+    /// Tuples shed (and not yet replayed) from batches inside the
+    /// window instances this execution consumed.
+    pub tuples_shed: u64,
+    /// How many of the consumed window instances lost at least one tuple.
+    pub windows_affected: u32,
 }
 
 impl ResultSet {
@@ -51,6 +68,7 @@ impl ResultSet {
             aggregates: Vec::new(),
             group_aggregates: Vec::new(),
             unreachable_shards: Vec::new(),
+            degraded: None,
         }
     }
 
@@ -320,6 +338,7 @@ pub fn finalize(
             aggregates: Vec::new(),
             group_aggregates,
             unreachable_shards: Vec::new(),
+            degraded: None,
         };
     }
 
@@ -371,6 +390,7 @@ pub fn finalize(
         aggregates,
         group_aggregates: Vec::new(),
         unreachable_shards: Vec::new(),
+        degraded: None,
     }
 }
 

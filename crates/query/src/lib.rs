@@ -45,7 +45,7 @@ pub use error::QueryError;
 pub use exec::{GraphAccess, LiteralResolver, PatternSource, TimedGraphAccess};
 pub use executor::{
     apply_not_exists, apply_optional, apply_ready_filters, apply_union, execute, execute_step,
-    execute_traced, finalize, ResultSet,
+    execute_traced, finalize, Degraded, ResultSet,
 };
 pub use incremental::{incrementalizable, DeltaState, DeltaStats};
 pub use parser::parse_query;

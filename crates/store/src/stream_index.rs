@@ -123,6 +123,23 @@ impl StreamIndex {
         self.batches.push_back(batch);
     }
 
+    /// Inserts a batch at its time-ordered position (batches with equal
+    /// timestamps keep arrival order). The normal ingest path appends via
+    /// [`StreamIndex::push_batch`]; this is the catch-up replay path,
+    /// which re-inserts shed tuples at their *original* timestamps after
+    /// newer batches have already been appended. The deque stays sorted,
+    /// so the `partition_point` window scans remain correct.
+    pub fn insert_batch(&mut self, batch: IndexBatch) {
+        let pos = self
+            .batches
+            .partition_point(|b| b.timestamp <= batch.timestamp);
+        if pos == self.batches.len() {
+            self.batches.push_back(batch);
+        } else {
+            self.batches.insert(pos, batch);
+        }
+    }
+
     /// Retires every batch older than `expiry` (exclusive), mirroring the
     /// transient store's GC. Returns the number retired.
     pub fn retire_expired(&mut self, expiry: Timestamp) -> usize {
@@ -521,6 +538,44 @@ mod tests {
             AppendReceipt { key, offset: 2 },
         ];
         let _ = IndexBatch::from_receipts(100, &receipts);
+    }
+
+    #[test]
+    fn insert_batch_keeps_time_order_for_replay() {
+        // Catch-up replay re-inserts shed tuples at their original (now
+        // old) timestamps: appends land at fresh logical offsets, but the
+        // index batch must slot into time order so window scans that
+        // binary-search on timestamps still see it.
+        let mut store = BaseStore::new();
+        let mut idx = StreamIndex::new();
+        inject(&mut store, &mut idx, 100, SnapshotId(1), &[t(1, 2, 10)]);
+        inject(&mut store, &mut idx, 300, SnapshotId(1), &[t(1, 2, 30)]);
+
+        // Replay a batch at the (old) timestamp 200.
+        let mut rc = Vec::new();
+        store.insert_at(t(1, 2, 20), SnapshotId(2), &mut rc);
+        idx.insert_batch(IndexBatch::from_receipts(200, &rc));
+
+        let key = Key::new(Vid(1), Pid(2), Dir::Out);
+        let mut out = Vec::new();
+        idx.neighbors_in(&store, key, 150, 250, &mut out);
+        assert_eq!(out, vec![Vid(20)], "window scan finds the replayed batch");
+        out.clear();
+        idx.neighbors_in(&store, key, 0, 999, &mut out);
+        assert_eq!(out, vec![Vid(10), Vid(20), Vid(30)], "time order restored");
+
+        // Equal timestamps keep arrival order; a replay at the newest
+        // timestamp appends.
+        let mut rc = Vec::new();
+        store.insert_at(t(1, 2, 31), SnapshotId(2), &mut rc);
+        idx.insert_batch(IndexBatch::from_receipts(300, &rc));
+        out.clear();
+        idx.neighbors_in(&store, key, 300, 300, &mut out);
+        assert_eq!(out, vec![Vid(30), Vid(31)]);
+
+        // GC still retires from the front across replayed batches.
+        assert_eq!(idx.retire_expired(250), 2);
+        assert_eq!(idx.batch_count(), 2);
     }
 
     #[test]

@@ -131,6 +131,28 @@ impl TransientStore {
         }
     }
 
+    /// Inserts a slice at its time-ordered position (slices with equal
+    /// timestamps keep arrival order), then enforces the budget. The
+    /// normal ingest path appends via [`TransientStore::push_batch`];
+    /// this is the catch-up replay path, which re-inserts shed timing
+    /// tuples at their *original* timestamps after newer slices were
+    /// already appended. The deque stays sorted, so the
+    /// `partition_point` window scans remain correct.
+    pub fn insert_slice(&mut self, slice: TransientSlice) {
+        let pos = self
+            .slices
+            .partition_point(|s| s.timestamp <= slice.timestamp);
+        self.used_bytes += slice.heap_bytes();
+        if pos == self.slices.len() {
+            self.slices.push_back(slice);
+        } else {
+            self.slices.insert(pos, slice);
+        }
+        while self.used_bytes > self.budget_bytes && self.slices.len() > 1 {
+            self.evict_oldest();
+        }
+    }
+
     /// Frees every slice older than `expiry` (exclusive). Returns the
     /// number of slices freed. This is the periodic background GC path.
     pub fn collect_expired(&mut self, expiry: Timestamp) -> usize {
@@ -293,6 +315,25 @@ mod tests {
         }
         assert!(st.used_bytes() <= tiny || st.slice_count() == 1);
         assert!(st.evicted_slices() > 0);
+    }
+
+    #[test]
+    fn insert_slice_keeps_time_order_for_replay() {
+        let mut st = TransientStore::new(1 << 20);
+        for ts in [100, 300] {
+            st.push_batch(TransientSlice::from_batch(ts, &[timing(1, 2, ts, ts)]));
+        }
+        // Replay a shed slice at the old timestamp 200.
+        st.insert_slice(TransientSlice::from_batch(200, &[timing(1, 2, 200, 200)]));
+        let key = Key::new(Vid(1), Pid(2), wukong_rdf::Dir::Out);
+        assert_eq!(st.neighbors_in(key, 150, 250), vec![Vid(200)]);
+        assert_eq!(
+            st.neighbors_in(key, 0, 999),
+            vec![Vid(100), Vid(200), Vid(300)]
+        );
+        // GC sweeps replayed slices like any other.
+        assert_eq!(st.collect_expired(250), 2);
+        assert_eq!(st.neighbors_in(key, 0, 999), vec![Vid(300)]);
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub struct Adaptor {
     current: Vec<StreamTuple>,
     current_end: Timestamp,
     discarded: usize,
+    clock_anomalies: usize,
+    /// Coalesced quiet gaps: `(after, to)` records that once the batch
+    /// ending `after` is in, every grid point through `to` is a skipped
+    /// empty batch — the consumer may advance its stream clock to `to`
+    /// without waiting for (never-coming) batches in between.
+    clock_jumps: Vec<(Timestamp, Timestamp)>,
     /// Nanoseconds of adaptor work (windowing/sealing) accumulated since
     /// the last [`Adaptor::take_work_ns`]; the engine drains this into
     /// the per-stream `Adaptor` stage histogram.
@@ -83,6 +89,13 @@ pub struct Adaptor {
 }
 
 impl Adaptor {
+    /// The longest run of empty heartbeat batches one `push`/`advance_to`
+    /// call may seal. A tuple whose timestamp jumps further ahead than
+    /// this many intervals is a clock anomaly: without the bound, a single
+    /// bad timestamp would flood the pipeline with an unbounded (and,
+    /// downstream, quadratic) run of empty batches.
+    pub const MAX_EMPTY_RUN: usize = 64;
+
     /// Creates an adaptor; the first batch covers `(0, interval]`.
     pub fn new(schema: StreamSchema) -> Self {
         let end = schema.batch_interval_ms;
@@ -91,6 +104,8 @@ impl Adaptor {
             current: Vec::new(),
             current_end: end,
             discarded: 0,
+            clock_anomalies: 0,
+            clock_jumps: Vec::new(),
             work_ns: 0,
         }
     }
@@ -105,9 +120,16 @@ impl Adaptor {
     ///
     /// Tuples must arrive in non-decreasing timestamp order (C-SPARQL's
     /// time model, §4.3); a late tuple is clamped into the current batch.
+    /// A far-future timestamp (more than [`Adaptor::MAX_EMPTY_RUN`]
+    /// intervals ahead — a long-idle stream or a bad clock) never
+    /// rewrites the tuple: the dead interval range is coalesced by
+    /// jumping the batch clock forward, a bounded heartbeat run is
+    /// sealed, the tuple keeps its true timestamp in the batch covering
+    /// it, and the anomaly is counted.
     pub fn push(&mut self, triple: Triple, ts: Timestamp) -> Vec<Batch> {
         let t0 = std::time::Instant::now();
         let mut out = Vec::new();
+        self.bound_gap(ts, false, &mut out);
         while ts > self.current_end {
             out.push(self.seal());
         }
@@ -137,9 +159,15 @@ impl Adaptor {
 
     /// Advances stream time to `ts`, sealing every batch that ends at or
     /// before it (heartbeat for idle streams).
+    ///
+    /// A jump longer than [`Adaptor::MAX_EMPTY_RUN`] intervals is counted
+    /// as a clock anomaly and the dead range is coalesced by jumping the
+    /// batch clock, so the call still catches up fully while sealing a
+    /// bounded number of batches.
     pub fn advance_to(&mut self, ts: Timestamp) -> Vec<Batch> {
         let t0 = std::time::Instant::now();
         let mut out = Vec::new();
+        self.bound_gap(ts, true, &mut out);
         while ts >= self.current_end {
             out.push(self.seal());
         }
@@ -147,9 +175,63 @@ impl Adaptor {
         out
     }
 
+    /// Coalesces an over-long quiet gap before `ts`. If stepping there one
+    /// interval at a time would seal more than [`Adaptor::MAX_EMPTY_RUN`]
+    /// batches, seal the current batch, count the anomaly, and jump
+    /// `current_end` so only a bounded heartbeat run remains up to the
+    /// first on-grid batch end that can host `ts` (inclusive of `ts` for
+    /// `push`, strictly past it for `advance_to`). Jumps are whole
+    /// multiples of the interval, so the batch grid's phase is preserved;
+    /// the VTS is a watermark, so skipping the dead batch ends is sound.
+    fn bound_gap(&mut self, ts: Timestamp, inclusive: bool, out: &mut Vec<Batch>) {
+        let interval = self.schema.batch_interval_ms;
+        let horizon = self
+            .current_end
+            .saturating_add((Self::MAX_EMPTY_RUN as u64).saturating_mul(interval));
+        let beyond = if inclusive {
+            ts >= horizon
+        } else {
+            ts > horizon
+        };
+        if !beyond {
+            return;
+        }
+        self.clock_anomalies += 1;
+        let after = self.current_end;
+        out.push(self.seal());
+        let gap = ts - self.current_end;
+        let steps = if inclusive {
+            gap / interval + 1
+        } else {
+            gap.div_ceil(interval)
+        };
+        let end = self
+            .current_end
+            .saturating_add(steps.saturating_mul(interval));
+        self.current_end = end.saturating_sub((Self::MAX_EMPTY_RUN as u64 - 1) * interval);
+        self.clock_jumps
+            .push((after, self.current_end.saturating_sub(interval)));
+    }
+
     /// Drains the accumulated adaptor work time (nanoseconds).
     pub fn take_work_ns(&mut self) -> u64 {
         std::mem::take(&mut self.work_ns)
+    }
+
+    /// Drains the count of clock anomalies (far-future timestamp jumps
+    /// coalesced into bounded heartbeat runs) since the last call; the
+    /// engine folds this into its per-stream `InjectStats`.
+    pub fn take_clock_anomalies(&mut self) -> usize {
+        std::mem::take(&mut self.clock_anomalies)
+    }
+
+    /// Drains the coalesced clock jumps since the last call, oldest
+    /// first. Each `(after, to)` pair tells the consumer that no batch
+    /// will ever be sealed strictly between `after` and `to`: the gap is
+    /// quiet by construction, so stream time may advance through it once
+    /// the batch ending `after` has landed.
+    pub fn take_clock_jumps(&mut self) -> Vec<(Timestamp, Timestamp)> {
+        std::mem::take(&mut self.clock_jumps)
     }
 
     /// Fast-forwards the adaptor's clock past `ts` *without* emitting
@@ -255,5 +337,54 @@ mod tests {
         assert_eq!(sealed.len(), 4); // batches ending 100..400
         assert_eq!(sealed[0].tuples.len(), 1);
         assert!(sealed[1..].iter().all(|b| b.tuples.is_empty()));
+        assert_eq!(a.take_clock_anomalies(), 0);
+    }
+
+    #[test]
+    fn far_future_push_is_bounded_and_counted() {
+        // A tuple far ahead of stream time (long-idle stream or a bad
+        // clock) must not seal an unbounded run of empty batches — but it
+        // must also keep its true timestamp. The dead range is coalesced
+        // by jumping the batch clock; the sealed run is capped at
+        // MAX_EMPTY_RUN and the anomaly is counted.
+        let far = 1_000_000; // 10_000 intervals ahead, on-grid
+        let mut a = Adaptor::new(schema());
+        a.push(t(1, 4, 2), 10);
+        let sealed = a.push(t(1, 4, 3), far);
+        assert_eq!(sealed.len(), Adaptor::MAX_EMPTY_RUN);
+        assert_eq!(sealed[0].tuples.len(), 1);
+        assert!(sealed[1..].iter().all(|b| b.tuples.is_empty()));
+        assert_eq!(a.take_clock_anomalies(), 1);
+        assert_eq!(a.take_clock_anomalies(), 0, "drained");
+        // The tuple lives — unre-stamped — in the batch covering `far`.
+        let next = a.advance_to(far);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].timestamp, far);
+        assert_eq!(next[0].tuples.len(), 1);
+        assert_eq!(next[0].tuples[0].timestamp, far);
+        // Stream time keeps flowing normally afterwards.
+        assert!(a.push(t(1, 4, 4), far + 50).is_empty());
+        // An absurd jump (overflow territory) stays bounded too.
+        let huge = a.push(t(1, 4, 5), u64::MAX / 2);
+        assert!(huge.len() <= Adaptor::MAX_EMPTY_RUN + 1);
+        assert_eq!(a.take_clock_anomalies(), 1);
+    }
+
+    #[test]
+    fn heartbeat_advance_is_bounded_per_call() {
+        let mut a = Adaptor::new(schema());
+        let far = 1_000_000; // 10_000 intervals ahead
+        let first = a.advance_to(far);
+        assert_eq!(first.len(), Adaptor::MAX_EMPTY_RUN);
+        assert_eq!(first.last().expect("non-empty").timestamp, far);
+        assert_eq!(a.take_clock_anomalies(), 1);
+        // The stream caught up in that one bounded call: re-advancing to
+        // the same point emits nothing and counts nothing.
+        assert!(a.advance_to(far).is_empty());
+        assert_eq!(a.take_clock_anomalies(), 0);
+        // Normal heartbeat flow resumes on the preserved batch grid.
+        let next = a.advance_to(far + 100);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].timestamp, far + 100);
     }
 }

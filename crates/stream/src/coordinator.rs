@@ -99,6 +99,19 @@ impl Coordinator {
         }
     }
 
+    /// Advances every node's local VTS entry for `stream` to `ts` at
+    /// once: the adaptor coalesced a quiet gap, so every grid point
+    /// through `ts` holds a vacuously-inserted empty batch (a no-op on
+    /// every node). Retires any SN-VTS mapping stranded inside the gap
+    /// — without this, `snapshot_for` would stall the stream's next real
+    /// batch forever behind targets no batch will ever reach.
+    pub fn advance_gap(&mut self, stream: usize, ts: Timestamp) -> CoordinatorEvent {
+        for v in &mut self.local_vts {
+            v.advance(stream, ts);
+        }
+        self.refresh()
+    }
+
     /// Whether `node` already inserted `stream`'s batch at `ts` — the
     /// per-node duplicate check of at-least-once delivery: a redelivered
     /// batch must skip nodes whose local VTS already covers it, even

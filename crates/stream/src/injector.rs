@@ -45,6 +45,11 @@ pub struct InjectStats {
     pub timeless: usize,
     /// Timing tuples stored in the transient ring.
     pub timing: usize,
+    /// Tuples the adaptor discarded as irrelevant to any query.
+    pub discarded: usize,
+    /// Far-future timestamp jumps the adaptor coalesced into bounded
+    /// heartbeat runs (bad clocks; see `Adaptor::MAX_EMPTY_RUN`).
+    pub clock_anomalies: usize,
     /// Nanoseconds spent appending to the persistent + transient stores.
     pub inject_ns: u64,
     /// Nanoseconds spent building and appending the stream index.
@@ -56,6 +61,8 @@ impl InjectStats {
     pub fn add(&mut self, other: &InjectStats) {
         self.timeless += other.timeless;
         self.timing += other.timing;
+        self.discarded += other.discarded;
+        self.clock_anomalies += other.clock_anomalies;
         self.inject_ns += other.inject_ns;
         self.index_ns += other.index_ns;
     }
@@ -241,17 +248,23 @@ mod tests {
         let mut a = InjectStats {
             timeless: 1,
             timing: 2,
+            discarded: 1,
+            clock_anomalies: 0,
             inject_ns: 10,
             index_ns: 20,
         };
         a.add(&InjectStats {
             timeless: 3,
             timing: 4,
+            discarded: 2,
+            clock_anomalies: 1,
             inject_ns: 30,
             index_ns: 40,
         });
         assert_eq!(a.timeless, 4);
         assert_eq!(a.timing, 6);
+        assert_eq!(a.discarded, 3);
+        assert_eq!(a.clock_anomalies, 1);
         assert_eq!(a.inject_ns, 40);
         assert_eq!(a.index_ns, 60);
     }

@@ -25,6 +25,7 @@ pub mod coordinator;
 pub mod dispatcher;
 pub mod injector;
 pub mod scalarize;
+pub mod shed;
 pub mod vts;
 pub mod window;
 
@@ -33,5 +34,6 @@ pub use coordinator::Coordinator;
 pub use dispatcher::{dispatch, SubBatch};
 pub use injector::{InjectStats, Injector, NodeStreamStore};
 pub use scalarize::{SnVtsPlanner, StalenessBound};
+pub use shed::{IngestBudget, ShedPolicy, ShedRecord, Shedder};
 pub use vts::Vts;
 pub use window::WindowState;

@@ -130,6 +130,69 @@ fn stage_spans_sum_to_end_to_end_latency() {
     );
 }
 
+/// The overload path reports through the same staged-latency fabric as
+/// everything else: `Shed` and `CatchUp` are batch-family stages (so the
+/// query stage-sum invariant above is untouched by them), shed events
+/// record a `Shed` span on the overflowing stream's series, and the
+/// catch-up replay records a `CatchUp` span — all visible in a registry
+/// snapshot.
+#[test]
+fn overload_stages_land_in_the_batch_family() {
+    use wukong_obs::Stage;
+    use wukong_stream::IngestBudget;
+
+    assert!(Stage::Shed.is_batch_stage() && !Stage::Shed.counts_toward_query_total());
+    assert!(Stage::CatchUp.is_batch_stage() && !Stage::CatchUp.counts_toward_query_total());
+
+    let w = ls_workload_seeded(Scale::Tiny, 42);
+    let mut cfg = EngineConfig::cluster(2).with_ingest_budget(Some(IngestBudget::tuples(8)));
+    cfg.overload.catchup_quiet_ms = 300;
+    cfg.overload.latency_budget_ms = 1e9;
+    let engine = WukongS::with_strings(cfg, Arc::clone(&w.strings));
+    engine.load_base(w.stored.iter().copied());
+    for schema in w.schemas() {
+        engine.register_stream(schema);
+    }
+    engine
+        .register_continuous(&lsbench::continuous_query(&w.bench, 1, 0))
+        .expect("register");
+    for t in &w.timeline {
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.advance_time(w.duration);
+    // The budget overflows right up to the end of the timeline; push
+    // stream time past the quiet period so catch-up actually replays.
+    engine.advance_time(w.duration + 1_000);
+    let firings = engine.fire_ready();
+    assert!(engine.total_shed() > 0, "the tiny budget must overflow");
+
+    let snap = engine.handle().obs().snapshot();
+    let shed_spans: u64 = snap
+        .streams
+        .values()
+        .filter_map(|s| s.stages.get(&Stage::Shed))
+        .map(|h| h.count)
+        .sum();
+    assert!(shed_spans > 0, "shed events must record a Shed span");
+    let catchup = &snap.streams["catch-up"];
+    assert!(
+        catchup.stages[&Stage::CatchUp].count >= 1,
+        "the replay must record a CatchUp span"
+    );
+
+    // The firing-side invariant survives degradation: stage spans still
+    // account for each firing's end-to-end latency.
+    for f in &firings {
+        let sum = f.stages.query_total_ns();
+        let e2e = (f.latency_ms * 1e6) as u64;
+        assert!(
+            sum <= e2e + e2e / 100 + 1_000,
+            "stage sum {sum} ns exceeds end-to-end {e2e} ns for {:?}",
+            f.name
+        );
+    }
+}
+
 /// Golden test for the `--json` report: a tiny in-process experiment
 /// written through `BenchJson` parses back with the expected schema,
 /// percentile keys, and stage names.

@@ -94,7 +94,14 @@ fn concurrent_queries_during_ingestion() {
                 let mut n = 0;
                 while !stop.load(Ordering::Relaxed) || n < 40 {
                     n += 1;
-                    let (rs, _) = engine.one_shot(&text).expect("one-shot runs");
+                    let rs = match engine.one_shot(&text) {
+                        Ok((rs, _)) => rs,
+                        // Admission control turns one-shots away while the
+                        // engine sheds — only reachable when the suite runs
+                        // with WUKONG_INGEST_BUDGET exported (ci.sh matrix).
+                        Err(wukong_query::QueryError::Overloaded(_)) => continue,
+                        Err(e) => panic!("one-shot failed: {e}"),
+                    };
                     // The stored graph only grows: a one-shot's result for
                     // this monotone query never shrinks.
                     assert!(
@@ -121,4 +128,94 @@ fn concurrent_queries_during_ingestion() {
     assert!(stats.stable_sn.0 >= 30);
     let firings = engine.fire_ready();
     assert!(!firings.is_empty(), "windows accumulated during the run");
+}
+
+/// Everything the shedder decides — which batches lose tuples, how many,
+/// and which firings carry `degraded` markers — must be a pure function
+/// of (workload, seed, budget). Re-running the identical overload and
+/// changing only the worker-pool width may not move a single byte of it.
+#[test]
+fn overload_shedding_is_deterministic() {
+    use wukong_bench::{ls_workload_seeded, Scale};
+    use wukong_stream::{IngestBudget, ShedPolicy, ShedRecord};
+
+    let w = ls_workload_seeded(Scale::Tiny, 7);
+    // A 4x spike over the middle third of the timeline.
+    let (from, until) = (w.duration / 3, 2 * w.duration / 3);
+    let mut timeline = Vec::new();
+    for t in &w.timeline {
+        let copies = if t.timestamp >= from && t.timestamp < until {
+            4
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            timeline.push(*t);
+        }
+    }
+
+    type Markers = Vec<(usize, u64, u64, u32)>;
+    let run = |workers: usize, policy: ShedPolicy| -> (Vec<ShedRecord>, Markers, u64) {
+        let mut cfg = wukong_core::EngineConfig::cluster(2)
+            .with_ingest_budget(Some(IngestBudget::tuples(12)))
+            .with_shed_policy(policy)
+            .with_workers(workers);
+        // Shed decisions never read the wall clock; exclude the
+        // (wall-clock) latency trip so the assertion is exact.
+        cfg.overload.latency_budget_ms = 1e9;
+        cfg.overload.catchup_quiet_ms = 300;
+        let engine = WukongS::with_strings(cfg, Arc::clone(&w.strings));
+        engine.load_base(w.stored.iter().copied());
+        for s in w.schemas() {
+            engine.register_stream(s);
+        }
+        for c in 1..=3 {
+            engine
+                .register_continuous(&lsbench::continuous_query(&w.bench, c, 0))
+                .expect("register");
+        }
+        let mut markers = Markers::new();
+        for (i, t) in timeline.iter().enumerate() {
+            engine.ingest(t.stream, t.triple, t.timestamp);
+            if i % 64 == 63 {
+                for f in engine.fire_ready() {
+                    if let Some(d) = f.results.degraded {
+                        markers.push((f.query, f.window_end, d.tuples_shed, d.windows_affected));
+                    }
+                }
+            }
+        }
+        engine.advance_time(w.duration);
+        for f in engine.fire_ready() {
+            if let Some(d) = f.results.degraded {
+                markers.push((f.query, f.window_end, d.tuples_shed, d.windows_affected));
+            }
+        }
+        (engine.shed_log(), markers, engine.total_shed())
+    };
+
+    for policy in [ShedPolicy::DropOldestWindow, ShedPolicy::SampleWithinBatch] {
+        let (log_a, markers_a, shed_a) = run(1, policy);
+        assert!(shed_a > 0, "{policy:?}: the spike must overflow the budget");
+        assert!(
+            !markers_a.is_empty(),
+            "{policy:?}: shed windows must mark their firings"
+        );
+        // Same seed, same spike => byte-identical decisions...
+        let (log_b, markers_b, shed_b) = run(1, policy);
+        assert_eq!(log_a, log_b, "{policy:?}: shed log differs across runs");
+        assert_eq!(
+            markers_a, markers_b,
+            "{policy:?}: markers differ across runs"
+        );
+        assert_eq!(shed_a, shed_b);
+        // ...and the worker-pool width is invisible to all of it.
+        let (log_w, markers_w, shed_w) = run(4, policy);
+        assert_eq!(log_a, log_w, "{policy:?}: shed log depends on workers");
+        assert_eq!(
+            markers_a, markers_w,
+            "{policy:?}: markers depend on workers"
+        );
+        assert_eq!(shed_a, shed_w);
+    }
 }
