@@ -17,14 +17,18 @@ cargo build --release
 cargo test -q
 
 # Execution-mode matrix: the equivalence suites must pass at both the
-# serial baseline and a wide pool, with delta maintenance off and on —
-# incremental firings are required to be byte-identical to recompute at
-# every worker count.
+# serial baseline and a wide pool, with delta maintenance off and on and
+# adaptive re-planning off and on — incremental and adaptive firings are
+# required to be byte-identical to static recompute at every point.
 for workers in 1 4; do
     for inc in 0 1; do
-        echo "== matrix: WUKONG_WORKERS=$workers WUKONG_INCREMENTAL=$inc"
-        WUKONG_WORKERS=$workers WUKONG_INCREMENTAL=$inc cargo test -q -p wukong-bench \
-            --test differential --test integration_parallel --test props_incremental
+        for adaptive in 0 1; do
+            echo "== matrix: WUKONG_WORKERS=$workers WUKONG_INCREMENTAL=$inc WUKONG_ADAPTIVE=$adaptive"
+            WUKONG_WORKERS=$workers WUKONG_INCREMENTAL=$inc WUKONG_ADAPTIVE=$adaptive \
+                cargo test -q -p wukong-bench \
+                --test differential --test integration_parallel \
+                --test props_incremental --test props_planner --test regression_replan
+        done
     done
 done
 
@@ -42,7 +46,7 @@ if [[ "${1:-}" == "--quick" ]]; then
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 5' "$out/table2.json"
+    grep -q '"schema_version": 6' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
 
     echo "== recovery drill smoke (tiny scale)"
@@ -71,6 +75,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     grep -q '"all_match": 1' "$out/overload.json"
     grep -q '"overload"' "$out/overload.json"
     echo "overload OK: $out/overload.json"
+
+    echo "== adaptive re-planning smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_adaptive -- --quick --json "$out/adaptive.json"
+    grep -q '"all_match": 1' "$out/adaptive.json"
+    grep -q '"plan"' "$out/adaptive.json"
+    echo "adaptive OK: $out/adaptive.json"
 fi
 
 echo "CI green"

@@ -6,8 +6,8 @@ use std::path::PathBuf;
 use wukong_core::metrics::LatencyRecorder;
 use wukong_core::{RecoveryReport, WukongS};
 use wukong_obs::{
-    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, Json, OverloadSnapshot, PoolSnapshot,
-    RegistrySnapshot,
+    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, Json, OverloadSnapshot, PlanSnapshot,
+    PoolSnapshot, RegistrySnapshot,
 };
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
@@ -22,19 +22,22 @@ use wukong_obs::{
 /// and rows reused vs recomputed vs retracted); 5 = added the `overload`
 /// top-level member (bounded-ingest counters: shed events, tuples shed,
 /// admission rejections, state transitions, catch-up replays, degraded
-/// firings).
-pub const JSON_SCHEMA_VERSION: u64 = 5;
+/// firings); 6 = added the `plan` top-level member (adaptive-planning
+/// counters: plan-cache hits/misses, feedback firings, drift, re-plans,
+/// delta rebuilds, cost-model mode decisions, and the modeled
+/// `edges_traversed` work metric).
+pub const JSON_SCHEMA_VERSION: u64 = 6;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 5):
+/// Document layout (`schema_version` 6):
 ///
 /// ```json
 /// {
-///   "schema_version": 5,
+///   "schema_version": 6,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
@@ -50,6 +53,9 @@ pub const JSON_SCHEMA_VERSION: u64 = 5;
 ///                   "admission_rejected", "state_transitions", "catchup_replays",
 ///                   "catchup_replayed_tuples", "degraded_firings",
 ///                   "incremental_rebuilds" },
+///   "plan":       { "cache_hits", "cache_misses", "feedback_firings",
+///                   "drifted_firings", "replans", "delta_rebuilds",
+///                   "mode_inplace", "mode_forkjoin", "edges_traversed" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
@@ -66,7 +72,9 @@ pub const JSON_SCHEMA_VERSION: u64 = 5;
 /// the delta-maintenance counters (all zero unless the engine ran with
 /// `EngineConfig::incremental`); `overload` carries the bounded-ingest
 /// counters (all zero unless the engine ran with
-/// `EngineConfig::ingest_budget`).
+/// `EngineConfig::ingest_budget`); `plan` carries the adaptive-planning
+/// counters (`edges_traversed` accumulates in every run; the rest stay
+/// zero unless the engine ran with `EngineConfig::adaptive`).
 ///
 /// where every `{...}` stage/histogram entry carries
 /// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
@@ -149,6 +157,7 @@ impl BenchJson {
         doc.set("pool", Json::object());
         doc.set("incremental", Json::object());
         doc.set("overload", Json::object());
+        doc.set("plan", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -242,6 +251,19 @@ impl BenchJson {
         *self.member("overload") = o;
     }
 
+    /// Records the adaptive-planning counters (usually an interval
+    /// delta).
+    pub fn plan(&mut self, snap: &PlanSnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("plan") = o;
+    }
+
     /// Records a recovery's replay metrics.
     pub fn recovery(&mut self, r: &RecoveryReport) {
         if !self.active() {
@@ -287,6 +309,7 @@ impl BenchJson {
         self.pool(&engine.handle().obs().pool().snapshot());
         self.incremental(&engine.handle().obs().incremental().snapshot());
         self.overload(&engine.handle().obs().overload().snapshot());
+        self.plan(&engine.handle().obs().plan().snapshot());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -334,7 +357,7 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
@@ -347,10 +370,42 @@ mod bench_json_tests {
             "pool",
             "incremental",
             "overload",
+            "plan",
             "stages",
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn plan_section_round_trips() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let snap = PlanSnapshot {
+            cache_hits: 12,
+            cache_misses: 3,
+            feedback_firings: 40,
+            drifted_firings: 9,
+            replans: 2,
+            delta_rebuilds: 1,
+            mode_inplace: 35,
+            mode_forkjoin: 5,
+            edges_traversed: 7_000,
+        };
+        j.plan(&snap);
+        let p = j.document().get("plan").unwrap();
+        assert_eq!(p.get("cache_hits").and_then(Json::as_u64), Some(12));
+        assert_eq!(p.get("cache_misses").and_then(Json::as_u64), Some(3));
+        assert_eq!(p.get("feedback_firings").and_then(Json::as_u64), Some(40));
+        assert_eq!(p.get("drifted_firings").and_then(Json::as_u64), Some(9));
+        assert_eq!(p.get("replans").and_then(Json::as_u64), Some(2));
+        assert_eq!(p.get("delta_rebuilds").and_then(Json::as_u64), Some(1));
+        assert_eq!(p.get("mode_inplace").and_then(Json::as_u64), Some(35));
+        assert_eq!(p.get("mode_forkjoin").and_then(Json::as_u64), Some(5));
+        assert_eq!(p.get("edges_traversed").and_then(Json::as_u64), Some(7_000));
+        // The serialized document parses back byte-identically.
+        let text = j.document().to_string_pretty();
+        let parsed = wukong_obs::json::parse(&text).expect("round-trips");
+        assert_eq!(&parsed, j.document());
     }
 
     #[test]

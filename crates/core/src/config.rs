@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use wukong_net::{FaultPlan, NetworkProfile};
+use wukong_query::DriftPolicy;
 use wukong_stream::{IngestBudget, ShedPolicy, StalenessBound};
 
 /// How queries execute across the cluster (§5, "Leveraging RDMA").
@@ -129,6 +130,17 @@ pub struct EngineConfig {
     /// Deadline/degradation policy for the overload state machine. Only
     /// consulted when [`EngineConfig::ingest_budget`] is set.
     pub overload: OverloadPolicy,
+    /// Adaptive planning (DESIGN.md §12): cache plans keyed on
+    /// `(normalized query text, stats epoch)`, feed per-step fan-out
+    /// back into a drift detector that re-plans continuous queries whose
+    /// estimates rot, and let the network cost model pick in-place vs
+    /// fork-join per firing under `ExecMode::Auto`. Presets read
+    /// `WUKONG_ADAPTIVE` (default off). Results are byte-identical
+    /// either way; this is purely a plan-quality/latency knob.
+    pub adaptive: bool,
+    /// When the adaptive drift detector re-plans. Only consulted when
+    /// [`EngineConfig::adaptive`] is on.
+    pub drift: DriftPolicy,
 }
 
 /// Deadline-aware degradation policy (DESIGN.md §11): when continuous
@@ -183,7 +195,35 @@ impl EngineConfig {
             shed_policy: ShedPolicy::default(),
             shed_seed: 42,
             overload: OverloadPolicy::default(),
+            adaptive: Self::adaptive_from_env(),
+            drift: DriftPolicy::default(),
         }
+    }
+
+    /// The `WUKONG_ADAPTIVE` environment override for
+    /// [`EngineConfig::adaptive`] (off unless set to `1` or `true`).
+    /// CI runs the whole test suite at both settings to prove adaptive
+    /// and static planning are equivalent.
+    pub fn adaptive_from_env() -> bool {
+        std::env::var("WUKONG_ADAPTIVE")
+            .map(|s| {
+                let s = s.trim();
+                s == "1" || s.eq_ignore_ascii_case("true")
+            })
+            .unwrap_or(false)
+    }
+
+    /// Returns this configuration with `adaptive` set to `on`.
+    pub fn with_adaptive(self, on: bool) -> Self {
+        EngineConfig {
+            adaptive: on,
+            ..self
+        }
+    }
+
+    /// Returns this configuration with the drift policy set.
+    pub fn with_drift(self, drift: DriftPolicy) -> Self {
+        EngineConfig { drift, ..self }
     }
 
     /// The `WUKONG_INGEST_BUDGET` environment override for
@@ -333,6 +373,25 @@ mod tests {
         assert!(p.latency_budget_ms > 0.0);
         assert!(p.trip_after_misses >= 1);
         assert!(p.catchup_quiet_ms > 0);
+    }
+
+    #[test]
+    fn adaptive_knob() {
+        // Presets default from the environment (off unless
+        // WUKONG_ADAPTIVE is set, in which case CI's matrix leg is in
+        // charge); the builder pins it either way.
+        let on = EngineConfig::single_node().with_adaptive(true);
+        assert!(on.adaptive);
+        assert!(!on.with_adaptive(false).adaptive);
+        let d = EngineConfig::single_node().drift;
+        assert!(d.band > 1.0);
+        assert!(d.trip_after >= 1);
+        let c = EngineConfig::single_node().with_drift(DriftPolicy {
+            band: 2.0,
+            trip_after: 1,
+        });
+        assert_eq!(c.drift.band, 2.0);
+        assert_eq!(c.drift.trip_after, 1);
     }
 
     #[test]

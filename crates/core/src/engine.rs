@@ -17,12 +17,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wukong_net::{NodeId, TaskTimer};
 use wukong_obs::{Stage, StageTrace};
-use wukong_query::exec::{ExecContext, StringLiteralResolver, WindowInstance};
+use wukong_query::exec::{ExecContext, GraphAccess, StringLiteralResolver, WindowInstance};
 use wukong_query::{
-    parse_query, plan_query, Degraded, Plan, Query, QueryError, QueryKind, ResultSet,
+    parse_query, plan_query, Degraded, Plan, PlanCache, PlanFeedback, Query, QueryError, QueryKind,
+    ResultSet, StepMode,
 };
-use wukong_rdf::{StreamId, StringServer, Timestamp, Triple};
-use wukong_store::gc;
+use wukong_rdf::{Dir, Key, StreamId, StringServer, Timestamp, Triple};
+use wukong_store::{gc, StatsEpoch};
 use wukong_stream::window::StreamWindow;
 use wukong_stream::{
     dispatch, Adaptor, Batch, Coordinator, InjectStats, ShedRecord, Shedder, StreamSchema, Vts,
@@ -35,6 +36,12 @@ pub type ContinuousId = usize;
 /// Simulated per-batch logging delay under fault tolerance (§6.8 measures
 /// ≈ 0.3 ms per batch on the paper's testbed).
 const LOGGING_DELAY_NS: u64 = 300_000;
+
+/// How many processed batches of one stream advance the statistics epoch
+/// (the plan cache's freshness key). Batch processing is deterministic,
+/// so epoch advancement — and therefore every cache hit/miss and re-plan
+/// point — replays identically under the same workload.
+const STATS_EPOCH_BATCHES: u64 = 32;
 
 /// Operational snapshot of a running deployment (see [`WukongS::stats`]).
 #[derive(Debug, Clone)]
@@ -137,6 +144,10 @@ struct Registered {
     /// maintained firing rebuilds from scratch — the initial value, and
     /// what recovery restores by re-registering queries fresh.
     delta: Mutex<Option<wukong_query::DeltaState>>,
+    /// Cardinality feedback for the current plan (adaptive mode only):
+    /// frozen per-step estimates plus the drift streak. Reset whenever
+    /// the plan is (re)derived.
+    feedback: Mutex<Option<PlanFeedback>>,
 }
 
 struct Pipeline {
@@ -174,6 +185,14 @@ pub struct WukongS {
     registry: RwLock<Vec<Arc<Registered>>>,
     next_home: AtomicUsize,
     checkpoints: Mutex<Vec<Bytes>>,
+    /// Plan memo keyed on `(normalized text, stats epoch)`; consulted by
+    /// registration-time planning, re-planning, and one-shot admission
+    /// while [`EngineConfig::adaptive`] is on.
+    plan_cache: PlanCache,
+    /// The store-statistics epoch: bumped deterministically every
+    /// [`STATS_EPOCH_BATCHES`] processed batches per stream, invalidating
+    /// cached plans built from older cardinalities.
+    stats_epoch: StatsEpoch,
 }
 
 impl WukongS {
@@ -206,6 +225,8 @@ impl WukongS {
             registry: RwLock::new(Vec::new()),
             next_home: AtomicUsize::new(0),
             checkpoints: Mutex::new(Vec::new()),
+            plan_cache: PlanCache::default(),
+            stats_epoch: StatsEpoch::new(),
             cfg,
         }
     }
@@ -879,6 +900,11 @@ impl WukongS {
         if pl.batches_done[s].is_multiple_of(self.cfg.gc_every_batches) {
             self.collect_garbage(pl, s);
         }
+        // Advance the statistics epoch on the same deterministic cadence:
+        // enough batches have landed that cached plans may be stale.
+        if pl.batches_done[s].is_multiple_of(STATS_EPOCH_BATCHES) {
+            self.stats_epoch.bump();
+        }
     }
 
     fn collect_garbage(&self, pl: &Pipeline, s: usize) {
@@ -1016,6 +1042,7 @@ impl WukongS {
             construct_target: target,
             last_emitted: Mutex::new(std::collections::HashSet::new()),
             delta: Mutex::new(None),
+            feedback: Mutex::new(None),
         }));
         Ok(id)
     }
@@ -1086,11 +1113,66 @@ impl WukongS {
             return p.clone();
         }
         let access = NodeAccess::new(&self.cluster, r.home);
-        let plan = plan_query(&r.query, &access, ctx);
+        let plan = if self.cfg.adaptive {
+            let epoch = self.stats_epoch.current();
+            match self.plan_cache.get(&r.text, epoch) {
+                Some(p) => {
+                    self.cluster.obs().plan().record_cache(true);
+                    p
+                }
+                None => {
+                    self.cluster.obs().plan().record_cache(false);
+                    let p = plan_query(&r.query, &access, ctx);
+                    self.plan_cache.insert(&r.text, epoch, p.clone());
+                    p
+                }
+            }
+        } else {
+            plan_query(&r.query, &access, ctx)
+        };
+        if self.cfg.adaptive {
+            *r.feedback.lock() = Some(PlanFeedback::for_plan(&plan));
+        }
         *cached = Some(plan.clone());
         plan
     }
 
+    /// The network cost model behind adaptive execution-mode selection:
+    /// modeled nanoseconds of in-place remote reads vs fork-join
+    /// scatter/gather for this plan, under [`EngineConfig::network`].
+    ///
+    /// In place, a `(nodes-1)/nodes` fraction of each step's estimated
+    /// expansions lands on a remote shard and costs one one-sided read.
+    /// Fork-join scatters each step's frontier to every node and gathers
+    /// it back: two messages per node carrying that node's share of the
+    /// rows. Both are *models* over the plan's frozen estimates, so the
+    /// decision is deterministic and shared-nothing of wall clock.
+    fn forkjoin_pays_off(&self, plan: &Plan) -> bool {
+        let nodes = self.cluster.nodes() as u64;
+        if nodes <= 1 {
+            return false;
+        }
+        const ROW_BYTES: usize = 16;
+        let net = &self.cfg.network;
+        let mut inplace: u128 = 0;
+        let mut forkjoin: u128 = 0;
+        for s in &plan.steps {
+            let est = s.estimate as u64;
+            inplace += est as u128 * net.read_cost(ROW_BYTES) as u128 * (nodes as u128 - 1)
+                / nodes as u128;
+            let share = ((est as usize).saturating_mul(ROW_BYTES) / nodes as usize).max(ROW_BYTES);
+            forkjoin += 2 * nodes as u128 * net.message_cost(share) as u128;
+        }
+        forkjoin < inplace
+    }
+
+    /// Executes `plan`, filling `fanout` with one `(input rows, output
+    /// rows)` pair per step when the in-place executor ran (fork-join
+    /// firings leave it empty — their per-partition fan-out is not
+    /// comparable to the whole-plan estimates). Also records the modeled
+    /// work metric (`edges_traversed`) for every in-place execution, so
+    /// static and adaptive runs expose comparable plan-quality numbers.
+    #[allow(clippy::too_many_arguments)]
     fn run_traced(
         &self,
         query: &Query,
@@ -1099,22 +1181,30 @@ impl WukongS {
         home: NodeId,
         timer: &mut TaskTimer,
         trace: &mut StageTrace,
+        fanout: &mut Vec<(u64, u64)>,
     ) -> ResultSet {
         let lit = StringLiteralResolver(self.strings());
         let forkjoin = match self.cfg.exec_mode {
             ExecMode::InPlace => false,
             ExecMode::ForkJoin => self.cluster.nodes() > 1,
             ExecMode::Auto => {
-                self.cluster.nodes() > 1
-                    && (plan.has_index_scan()
-                        || plan
-                            .steps
-                            .first()
-                            .map(|s| s.estimate > 10_000)
-                            .unwrap_or(false))
+                if self.cfg.adaptive {
+                    let fj = self.forkjoin_pays_off(plan);
+                    self.cluster.obs().plan().record_mode(fj);
+                    fj
+                } else {
+                    self.cluster.nodes() > 1
+                        && (plan.has_index_scan()
+                            || plan
+                                .steps
+                                .first()
+                                .map(|s| s.estimate > 10_000)
+                                .unwrap_or(false))
+                }
             }
         };
         if forkjoin {
+            fanout.clear();
             execute_forkjoin_traced(
                 query,
                 plan,
@@ -1128,7 +1218,12 @@ impl WukongS {
             )
         } else {
             let access = NodeAccess::new(&self.cluster, home);
-            wukong_query::execute_traced(query, plan, ctx, &access, &lit, timer, trace)
+            let results = wukong_query::execute_with_fanout(
+                query, plan, ctx, &access, &lit, timer, trace, fanout,
+            );
+            let edges: u64 = fanout.iter().map(|&(_, out)| out).sum();
+            self.cluster.obs().plan().record_edges(edges);
+            results
         }
     }
 
@@ -1141,7 +1236,8 @@ impl WukongS {
         instances: &[(usize, Timestamp, Timestamp)],
     ) -> (ResultSet, f64, StageTrace) {
         let sn = self.pipeline.lock().coordinator.stable_sn();
-        self.execute_instances_at(r, class, instances, sn)
+        let (results, ms, trace, _) = self.execute_instances_at(r, class, instances, sn);
+        (results, ms, trace)
     }
 
     /// Executes a registered query over `instances` at snapshot `sn`,
@@ -1155,17 +1251,26 @@ impl WukongS {
         class: &str,
         instances: &[(usize, Timestamp, Timestamp)],
         sn: wukong_store::SnapshotId,
-    ) -> (ResultSet, f64, StageTrace) {
+    ) -> (ResultSet, f64, StageTrace, Vec<(u64, u64)>) {
         let mut timer = TaskTimer::start();
         let mut trace = StageTrace::new();
+        let mut fanout = Vec::new();
         let t0 = timer.total_ns();
         let ctx = Self::context_at(sn, instances);
         let plan = self.plan_for(r, &ctx);
         trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
-        let results = self.run_traced(&r.query, &plan, &ctx, r.home, &mut timer, &mut trace);
+        let results = self.run_traced(
+            &r.query,
+            &plan,
+            &ctx,
+            r.home,
+            &mut timer,
+            &mut trace,
+            &mut fanout,
+        );
         let total_ns = timer.total_ns();
         self.cluster.obs().record_query(class, &trace, total_ns);
-        (results, total_ns as f64 / 1e6, trace)
+        (results, total_ns as f64 / 1e6, trace, fanout)
     }
 
     /// Whether firings of `r` run under delta maintenance right now:
@@ -1189,7 +1294,7 @@ impl WukongS {
         class: &str,
         instances: &[(usize, Timestamp, Timestamp)],
         sn: wukong_store::SnapshotId,
-    ) -> (ResultSet, f64, StageTrace) {
+    ) -> (ResultSet, f64, StageTrace, Vec<(u64, u64)>) {
         let mut timer = TaskTimer::start();
         let mut trace = StageTrace::new();
         let t0 = timer.total_ns();
@@ -1222,7 +1327,137 @@ impl WukongS {
         );
         let total_ns = timer.total_ns();
         self.cluster.obs().record_query(class, &trace, total_ns);
-        (results, total_ns as f64 / 1e6, trace)
+        // Maintained firings never run the full step loop; drift is
+        // observed through probes instead (see `probe_fanout`).
+        (results, total_ns as f64 / 1e6, trace, Vec::new())
+    }
+
+    /// Synthesizes a feedback observation for a maintained firing by
+    /// probing the store for each step's *current* anchor cardinality —
+    /// delta maintenance skips the step loop, so probing is the only way
+    /// estimate drift stays observable. Constant anchors and index scans
+    /// probe the same keys the planner estimated (index probes apply the
+    /// planner's 4× multiplier so an unchanged store reads as on-model);
+    /// variable-anchored steps have no probeable key and report no
+    /// observation (`(0, 0)` is skipped by the detector).
+    fn probe_fanout(
+        &self,
+        r: &Registered,
+        instances: &[(usize, Timestamp, Timestamp)],
+        sn: wukong_store::SnapshotId,
+    ) -> Vec<(u64, u64)> {
+        let plan = match r.plan.lock().clone() {
+            Some(p) => p,
+            None => return Vec::new(),
+        };
+        let ctx = Self::context_at(sn, instances);
+        let access = NodeAccess::new(&self.cluster, r.home);
+        plan.steps
+            .iter()
+            .map(|step| {
+                let p = &step.pattern;
+                let probe = |key: Key| access.estimate(key, p.graph, &ctx) as u64;
+                match step.mode {
+                    StepMode::FromSubject => match p.s {
+                        wukong_query::Term::Const(c) => (1, probe(Key::new(c, p.p, Dir::Out))),
+                        wukong_query::Term::Var(_) => (0, 0),
+                    },
+                    StepMode::FromObject => match p.o {
+                        wukong_query::Term::Const(c) => (1, probe(Key::new(c, p.p, Dir::In))),
+                        wukong_query::Term::Var(_) => (0, 0),
+                    },
+                    StepMode::IndexScan => {
+                        (1, probe(Key::index(p.p, Dir::Out)).max(1).saturating_mul(4))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Feeds one firing's fan-out into `r`'s drift detector. Returns
+    /// `true` when the detector trips (the caller re-plans). Serialized
+    /// by the caller in window order, so trip points are deterministic.
+    fn observe_feedback(&self, r: &Registered, fanout: &[(u64, u64)]) -> bool {
+        if fanout.is_empty() {
+            return false;
+        }
+        let mut guard = r.feedback.lock();
+        let Some(fb) = guard.as_mut() else {
+            return false;
+        };
+        let before = fb.drifted_firings();
+        let trip = fb.observe(fanout, &self.cfg.drift);
+        self.cluster
+            .obs()
+            .plan()
+            .record_feedback(fb.drifted_firings() > before);
+        trip
+    }
+
+    /// Re-derives `r`'s plan against current statistics (a drift trip, or
+    /// the [`WukongS::force_replan`] test hook). The new plan lands in
+    /// the cache at the current epoch, feedback restarts clean, and any
+    /// retained delta state is dropped — the next maintained firing
+    /// rebuilds under the new plan, recomputing PR-4 death timestamps
+    /// from the same contributing edges, so the firing sequence is
+    /// unchanged. The re-planning pause is traced as [`Stage::Replan`]
+    /// under the query's class, outside any firing's end-to-end latency.
+    fn replan(&self, r: &Registered, ctx: &ExecContext, class: &str) {
+        let t0 = std::time::Instant::now();
+        let access = NodeAccess::new(&self.cluster, r.home);
+        let plan = plan_query(&r.query, &access, ctx);
+        self.plan_cache
+            .insert(&r.text, self.stats_epoch.current(), plan.clone());
+        *r.feedback.lock() = Some(PlanFeedback::for_plan(&plan));
+        *r.plan.lock() = Some(plan);
+        {
+            let mut delta = r.delta.lock();
+            if delta.is_some() {
+                *delta = None;
+                self.cluster.obs().plan().record_delta_rebuild();
+            }
+        }
+        let obs = self.cluster.obs();
+        obs.plan().record_replan();
+        obs.record_query_stage(class, Stage::Replan, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Forces an immediate re-plan of registered query `id` against the
+    /// current stable snapshot — the hook behind the planner equivalence
+    /// battery: a mid-stream plan switch must not change any subsequent
+    /// firing. Works regardless of [`EngineConfig::adaptive`].
+    pub fn force_replan(&self, id: ContinuousId) {
+        let r = Arc::clone(&self.registry.read()[id]);
+        if r.retired.load(Ordering::Relaxed) {
+            return;
+        }
+        let (stable, sn) = {
+            let pl = self.pipeline.lock();
+            pl.coordinator.visibility()
+        };
+        let instances: Vec<(usize, Timestamp, Timestamp)> = r
+            .window
+            .lock()
+            .windows()
+            .iter()
+            .map(|w| {
+                let hi = stable.get(w.stream);
+                (w.stream, hi.saturating_sub(w.range_ms) + 1, hi)
+            })
+            .collect();
+        let ctx = Self::context_at(sn, &instances);
+        let class = Self::query_class(&r, id);
+        self.replan(&r, &ctx, &class);
+    }
+
+    /// The engine's plan cache (hit/miss counters, for tests/reports).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The current store-statistics epoch.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.current()
     }
 
     fn query_class(r: &Registered, id: ContinuousId) -> String {
@@ -1268,7 +1503,8 @@ impl WukongS {
                 continue;
             }
             let class = Self::query_class(r, id);
-            let executed: Vec<_> = if self.maintains(r) {
+            let maintained = self.maintains(r);
+            let executed: Vec<_> = if maintained {
                 // Delta maintenance chains state from window to window,
                 // so a maintained query's batch runs serially in window
                 // order — identical at any worker count.
@@ -1291,10 +1527,29 @@ impl WukongS {
                     (instances, run)
                 })
             };
-            // CONSTRUCT feeding and firing emission stay serialized on
-            // the coordinator side, in window order.
-            for (instances, (mut results, latency_ms, stages)) in executed {
+            // CONSTRUCT feeding, firing emission, and cardinality
+            // feedback stay serialized on the coordinator side, in
+            // window order — feedback order (and thus every re-plan
+            // point) is independent of the worker count.
+            let mut replanned_in_batch = false;
+            for (instances, (mut results, latency_ms, stages, fanout)) in executed {
                 let window_end = instances.first().map(|i| i.2).unwrap_or(0);
+                if self.cfg.adaptive && !replanned_in_batch {
+                    // Firings executed after a mid-batch re-plan still
+                    // ran the *old* plan; observing them against the new
+                    // estimates would be meaningless, so feedback skips
+                    // the rest of this batch.
+                    let observed = if maintained {
+                        self.probe_fanout(r, &instances, sn)
+                    } else {
+                        fanout
+                    };
+                    if self.observe_feedback(r, &observed) {
+                        let ctx = Self::context_at(sn, &instances);
+                        self.replan(r, &ctx, &class);
+                        replanned_in_batch = true;
+                    }
+                }
                 if self.cfg.ingest_budget.is_some() {
                     self.degrade_and_track(&instances, &mut results, latency_ms);
                 }
@@ -1496,9 +1751,38 @@ impl WukongS {
         let mut trace = StageTrace::new();
         let t0 = timer.total_ns();
         let access = NodeAccess::new(&self.cluster, home);
-        let plan = plan_query(&query, &access, &ctx);
+        let plan = if self.cfg.adaptive {
+            // One-shot bursts re-submit textually identical queries many
+            // times per second; within one statistics epoch the cached
+            // plan is what the planner would rebuild, and results are
+            // plan-independent either way.
+            let epoch = self.stats_epoch.current();
+            match self.plan_cache.get(text, epoch) {
+                Some(p) => {
+                    self.cluster.obs().plan().record_cache(true);
+                    p
+                }
+                None => {
+                    self.cluster.obs().plan().record_cache(false);
+                    let p = plan_query(&query, &access, &ctx);
+                    self.plan_cache.insert(text, epoch, p.clone());
+                    p
+                }
+            }
+        } else {
+            plan_query(&query, &access, &ctx)
+        };
         trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
-        let results = self.run_traced(&query, &plan, &ctx, home, &mut timer, &mut trace);
+        let mut fanout = Vec::new();
+        let results = self.run_traced(
+            &query,
+            &plan,
+            &ctx,
+            home,
+            &mut timer,
+            &mut trace,
+            &mut fanout,
+        );
         let total_ns = timer.total_ns();
         let class = query.name.clone().unwrap_or_else(|| "one-shot".to_string());
         self.cluster.obs().record_query(&class, &trace, total_ns);
@@ -2089,5 +2373,142 @@ mod tests {
         engine.advance_time(2_000);
         assert_eq!(engine.stable_ts(po), 2_000);
         assert!(engine.stable_sn().0 >= 19);
+    }
+
+    #[test]
+    fn one_shot_plans_come_from_the_cache_under_adaptive() {
+        let engine = WukongS::new(EngineConfig::single_node().with_adaptive(true));
+        let ss = engine.strings();
+        engine.load_base(ntriples::parse_document(ss, "Logan fo Erik\n").expect("parses"));
+        let (a, _) = engine.one_shot("SELECT ?X WHERE { Logan fo ?X }").unwrap();
+        // Same text, different whitespace: one plan, one cache hit.
+        let (b, _) = engine
+            .one_shot("SELECT ?X  WHERE  { Logan fo ?X }")
+            .unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(engine.plan_cache().misses(), 1);
+        assert_eq!(engine.plan_cache().hits(), 1);
+        let snap = engine.handle().obs().plan().snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+
+        // A static engine never touches the cache.
+        let control = WukongS::new(EngineConfig::single_node());
+        let ss = control.strings();
+        control.load_base(ntriples::parse_document(ss, "Logan fo Erik\n").expect("parses"));
+        let (c, _) = control.one_shot("SELECT ?X WHERE { Logan fo ?X }").unwrap();
+        assert_eq!(a.rows, c.rows);
+        assert!(control.plan_cache().is_empty());
+    }
+
+    #[test]
+    fn stats_epoch_advances_with_batch_processing() {
+        let (engine, po) = engine_with_stream();
+        let ss = engine.strings().clone();
+        assert_eq!(engine.stats_epoch(), 0);
+        // One sealed batch per 100 ms interval; 32 batches bump once.
+        for i in 0..STATS_EPOCH_BATCHES {
+            let t = ntriples::parse_tuple(&ss, &format!("u{i} po T-{i} {}", i * 100 + 50), 1)
+                .expect("tuple");
+            engine.ingest(po, t.triple, t.timestamp);
+        }
+        engine.advance_time(STATS_EPOCH_BATCHES * 100);
+        assert_eq!(engine.stats_epoch(), 1);
+    }
+
+    /// Drives the drifted-selectivity scenario: the plan is derived when
+    /// the anchor matches one tuple per window, then the anchor's
+    /// fan-out explodes. Returns every firing's sorted rows.
+    fn drift_workload(cfg: EngineConfig) -> (WukongS, Vec<Vec<Vec<wukong_rdf::Vid>>>) {
+        let engine = WukongS::new(cfg);
+        let ss = engine.strings().clone();
+        let po = engine.register_stream(StreamSchema::timeless(StreamId(0), "PO", 100));
+        engine
+            .register_continuous(
+                "REGISTER QUERY q SELECT ?Z FROM PO [RANGE 300ms STEP 100ms] \
+                 WHERE { GRAPH PO { Logan po ?Z } }",
+            )
+            .expect("register");
+        let mut fired = Vec::new();
+        for round in 0..8u64 {
+            let n = if round == 0 { 1 } else { 40 };
+            for k in 0..n {
+                let line = format!("Logan po T-{round}-{k} {}", round * 100 + 50);
+                let t = ntriples::parse_tuple(&ss, &line, 1).expect("tuple");
+                engine.ingest(po, t.triple, t.timestamp);
+            }
+            engine.advance_time((round + 1) * 100);
+            for f in engine.fire_ready() {
+                let mut rows = f.results.rows.clone();
+                rows.sort();
+                fired.push(rows);
+            }
+        }
+        (engine, fired)
+    }
+
+    #[test]
+    fn drift_trips_a_replan_without_changing_any_firing() {
+        let (adaptive, fired_a) = drift_workload(EngineConfig::single_node().with_adaptive(true));
+        let (static_, fired_s) = drift_workload(EngineConfig::single_node());
+        // Identical firing sequence — re-planning is result-transparent.
+        assert_eq!(fired_a, fired_s);
+        assert!(!fired_a.is_empty());
+
+        let snap = adaptive.handle().obs().plan().snapshot();
+        // The 40×-per-window regime vs the estimate frozen at one tuple
+        // drifts every firing after the first; three consecutive trips.
+        assert!(snap.feedback_firings > 0, "feedback observed: {snap:?}");
+        assert!(snap.drifted_firings >= 3, "drift detected: {snap:?}");
+        assert!(snap.replans >= 1, "detector tripped: {snap:?}");
+        // The static engine's adaptive counters stay silent (only the
+        // unconditional modeled-work metric accumulates).
+        let control = static_.handle().obs().plan().snapshot();
+        assert_eq!(control.replans, 0);
+        assert_eq!(control.feedback_firings, 0);
+        assert_eq!(control.cache_hits + control.cache_misses, 0);
+        assert!(control.edges_traversed > 0);
+    }
+
+    #[test]
+    fn force_replan_is_transparent_and_rebuilds_delta_state() {
+        // Maintained query (incremental on): force a mid-stream plan
+        // switch and compare every subsequent firing against a control
+        // engine that never re-plans.
+        let run = |replan_at: Option<u64>| {
+            let engine = WukongS::new(EngineConfig::single_node().with_incremental(true));
+            let ss = engine.strings().clone();
+            let po = engine.register_stream(StreamSchema::timeless(StreamId(0), "PO", 100));
+            let id = engine
+                .register_continuous(
+                    "REGISTER QUERY q SELECT ?Z FROM PO [RANGE 300ms STEP 100ms] \
+                     WHERE { GRAPH PO { Logan po ?Z } }",
+                )
+                .expect("register");
+            let mut fired = Vec::new();
+            for round in 0..6u64 {
+                for k in 0..3u64 {
+                    let line = format!("Logan po T-{round}-{k} {}", round * 100 + 50);
+                    let t = ntriples::parse_tuple(&ss, &line, 1).expect("tuple");
+                    engine.ingest(po, t.triple, t.timestamp);
+                }
+                engine.advance_time((round + 1) * 100);
+                if replan_at == Some(round) {
+                    engine.force_replan(id);
+                }
+                for f in engine.fire_ready() {
+                    let mut rows = f.results.rows.clone();
+                    rows.sort();
+                    fired.push((f.window_end, rows));
+                }
+            }
+            (engine, fired)
+        };
+        let (engine, with_switch) = run(Some(3));
+        let (_, control) = run(None);
+        assert_eq!(with_switch, control);
+        let snap = engine.handle().obs().plan().snapshot();
+        assert_eq!(snap.replans, 1);
+        assert_eq!(snap.delta_rebuilds, 1, "retained state dropped: {snap:?}");
     }
 }

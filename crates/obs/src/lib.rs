@@ -26,6 +26,7 @@ pub mod histogram;
 pub mod incremental;
 pub mod json;
 pub mod overload;
+pub mod plan;
 pub mod pool;
 pub mod registry;
 pub mod stage;
@@ -35,6 +36,7 @@ pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use incremental::{IncrementalCounters, IncrementalSnapshot};
 pub use json::Json;
 pub use overload::{OverloadCounters, OverloadSnapshot};
+pub use plan::{PlanCounters, PlanSnapshot};
 pub use pool::{PoolCounters, PoolSnapshot};
 pub use registry::{Registry, RegistrySnapshot, SeriesSnapshot};
 pub use stage::{Stage, StageTrace};

@@ -19,6 +19,7 @@ use crate::faults::FaultCounters;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::incremental::IncrementalCounters;
 use crate::overload::OverloadCounters;
+use crate::plan::PlanCounters;
 use crate::pool::PoolCounters;
 use crate::stage::{Stage, StageTrace};
 
@@ -39,6 +40,7 @@ pub struct Registry {
     pool: Arc<PoolCounters>,
     incremental: Arc<IncrementalCounters>,
     overload: Arc<OverloadCounters>,
+    plan: Arc<PlanCounters>,
 }
 
 fn series_for(
@@ -98,6 +100,16 @@ impl Registry {
         self.record_stream(stream, &t);
     }
 
+    /// Records a single stage span for query class `query` *without*
+    /// touching its end-to-end histogram — for between-firing work
+    /// (re-planning) that must appear in the breakdown but is not part
+    /// of any firing's latency.
+    pub fn record_query_stage(&self, query: &str, stage: Stage, ns: u64) {
+        let mut t = StageTrace::new();
+        t.add(stage, ns);
+        record_into(&series_for(&self.queries, query), &t);
+    }
+
     /// The shared fault/recovery counters; the fault-injection fabric
     /// and the recovery path both record here.
     pub fn faults(&self) -> &Arc<FaultCounters> {
@@ -121,6 +133,12 @@ impl Registry {
     /// ingest, admission control, and catch-up replay record here.
     pub fn overload(&self) -> &Arc<OverloadCounters> {
         &self.overload
+    }
+
+    /// The shared adaptive-planning counters; the engine's plan cache,
+    /// drift detector, and cost-model mode selection record here.
+    pub fn plan(&self) -> &Arc<PlanCounters> {
+        &self.plan
     }
 
     /// Point-in-time copy of every keyed series.

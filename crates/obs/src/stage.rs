@@ -12,7 +12,11 @@
 //!   `ForkJoinMerge` are *attribution-only* sub-spans inside
 //!   `PatternMatch` (how much of the matching time was spent fanning
 //!   work out to remote partitions vs. merging it back); they overlap
-//!   `PatternMatch` and are excluded from the sum.
+//!   `PatternMatch` and are excluded from the sum. `Replan` covers the
+//!   adaptive layer re-deriving a registered query's plan after the
+//!   drift detector trips; it rides the query family but happens
+//!   *between* firings, so like the fork-join sub-spans it is excluded
+//!   from the end-to-end sum.
 //! * **Batch stages** cover one ingest batch: `Adaptor` (windowing /
 //!   sealing in the stream adaptor), `Dispatch` (sharding the batch
 //!   across nodes), `Injection` (writing tuples into per-node transient
@@ -35,6 +39,7 @@ pub enum Stage {
     DeltaApply,
     StateRetract,
     ResultEmit,
+    Replan,
     // Batch stages (one ingest batch).
     Adaptor,
     Dispatch,
@@ -48,7 +53,7 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 15] = [
+    pub const ALL: [Stage; 16] = [
         Stage::WindowExtract,
         Stage::PatternMatch,
         Stage::ForkJoinFanout,
@@ -56,6 +61,7 @@ impl Stage {
         Stage::DeltaApply,
         Stage::StateRetract,
         Stage::ResultEmit,
+        Stage::Replan,
         Stage::Adaptor,
         Stage::Dispatch,
         Stage::Injection,
@@ -76,6 +82,7 @@ impl Stage {
             Stage::DeltaApply => "delta_apply",
             Stage::StateRetract => "state_retract",
             Stage::ResultEmit => "result_emit",
+            Stage::Replan => "replan",
             Stage::Adaptor => "adaptor",
             Stage::Dispatch => "dispatch",
             Stage::Injection => "injection",
@@ -98,6 +105,7 @@ impl Stage {
                 | Stage::DeltaApply
                 | Stage::StateRetract
                 | Stage::ResultEmit
+                | Stage::Replan
         )
     }
 
@@ -108,9 +116,10 @@ impl Stage {
 
     /// Whether the stage is one of the disjoint spans whose sum accounts
     /// for a firing's end-to-end latency (fork-join sub-spans overlap
-    /// `PatternMatch`, so they are excluded). Incremental firings report
-    /// `StateRetract`/`DeltaApply` *instead of* `PatternMatch`, so both
-    /// families are disjoint partitions of a firing and both count.
+    /// `PatternMatch`, and `Replan` happens between firings, so they are
+    /// excluded). Incremental firings report `StateRetract`/`DeltaApply`
+    /// *instead of* `PatternMatch`, so both families are disjoint
+    /// partitions of a firing and both count.
     pub fn counts_toward_query_total(self) -> bool {
         matches!(
             self,
@@ -234,5 +243,18 @@ mod tests {
         t.add(Stage::DeltaApply, 100);
         t.add(Stage::ResultEmit, 5);
         assert_eq!(t.query_total_ns(), 135);
+    }
+
+    #[test]
+    fn replan_is_a_query_stage_outside_the_firing_total() {
+        // Re-planning happens between firings: it must show up in the
+        // query family's breakdown without inflating the sum that
+        // accounts for any single firing's end-to-end latency.
+        assert!(Stage::Replan.is_query_stage());
+        assert!(!Stage::Replan.counts_toward_query_total());
+        let mut t = StageTrace::new();
+        t.add(Stage::PatternMatch, 100);
+        t.add(Stage::Replan, 1_000);
+        assert_eq!(t.query_total_ns(), 100);
     }
 }

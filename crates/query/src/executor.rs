@@ -553,12 +553,38 @@ pub fn execute_traced(
     timer: &mut TaskTimer,
     trace: &mut StageTrace,
 ) -> ResultSet {
+    let mut fanout = Vec::new();
+    execute_with_fanout(query, plan, ctx, access, lit, timer, trace, &mut fanout)
+}
+
+/// [`execute_traced`], additionally recording the per-step cardinality
+/// feedback the adaptive planner consumes: for every main-loop step, the
+/// binding-table sizes `(input_rows, output_rows)` measured *before*
+/// filters prune the step's output — the raw fan-out comparable to
+/// `Step::estimate`. `fanout` is cleared first and gets exactly one
+/// entry per plan step (steps skipped by the empty-table short-circuit
+/// report `(0, 0)`).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_fanout(
+    query: &Query,
+    plan: &Plan,
+    ctx: &ExecContext,
+    access: &impl GraphAccess,
+    lit: &impl LiteralResolver,
+    timer: &mut TaskTimer,
+    trace: &mut StageTrace,
+    fanout: &mut Vec<(u64, u64)>,
+) -> ResultSet {
     let mut table = BindingTable::seed(query.var_count as usize);
     let mut applied = vec![false; query.filters.len()];
     let t0 = timer.total_ns();
 
-    for step in &plan.steps {
+    fanout.clear();
+    fanout.resize(plan.steps.len(), (0, 0));
+    for (si, step) in plan.steps.iter().enumerate() {
+        let in_rows = table.len() as u64;
         table = execute_step(step, &table, ctx, access, timer);
+        fanout[si] = (in_rows, table.len() as u64);
         apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
         if table.is_empty() {
             break;

@@ -28,6 +28,7 @@
 //! how the same code drives a single-node store, the distributed engine,
 //! and the baselines.
 
+pub mod adaptive;
 pub mod ast;
 pub mod bindings;
 pub mod error;
@@ -39,15 +40,16 @@ pub mod parser;
 pub mod plan;
 pub mod planner;
 
+pub use adaptive::{normalize_query_text, DriftPolicy, PlanCache, PlanFeedback};
 pub use ast::{Aggregate, Filter, GraphName, Query, QueryKind, Term, TriplePattern, WindowSpec};
 pub use bindings::BindingTable;
 pub use error::QueryError;
 pub use exec::{GraphAccess, LiteralResolver, PatternSource, TimedGraphAccess};
 pub use executor::{
     apply_not_exists, apply_optional, apply_ready_filters, apply_union, execute, execute_step,
-    execute_traced, finalize, Degraded, ResultSet,
+    execute_traced, execute_with_fanout, finalize, Degraded, ResultSet,
 };
 pub use incremental::{incrementalizable, DeltaState, DeltaStats};
 pub use parser::parse_query;
-pub use plan::{Plan, Step};
+pub use plan::{Plan, Step, StepMode};
 pub use planner::{plan_patterns, plan_query};

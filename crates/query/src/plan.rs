@@ -7,6 +7,8 @@
 //! (§4.1: "queries that rely on retrieving a set of normal vertices
 //! connected by edges with a certain label").
 
+use std::collections::HashSet;
+
 use crate::ast::{GraphName, TriplePattern};
 
 /// How a step anchors its pattern.
@@ -41,11 +43,15 @@ pub struct Plan {
 }
 
 impl Plan {
-    /// The sources (stored graph / streams) the plan touches, deduped.
+    /// The sources (stored graph / streams) the plan touches, deduped in
+    /// first-appearance order. Fork-join fan-out iterates this per
+    /// firing, so dedup runs through a seen-set rather than the old
+    /// O(n²) `Vec::contains` scan.
     pub fn sources(&self) -> Vec<GraphName> {
+        let mut seen: HashSet<GraphName> = HashSet::with_capacity(self.steps.len());
         let mut out: Vec<GraphName> = Vec::new();
         for s in &self.steps {
-            if !out.contains(&s.pattern.graph) {
+            if seen.insert(s.pattern.graph) {
                 out.push(s.pattern.graph);
             }
         }
@@ -55,5 +61,79 @@ impl Plan {
     /// Whether any step requires an index scan (non-selective start).
     pub fn has_index_scan(&self) -> bool {
         self.steps.iter().any(|s| s.mode == StepMode::IndexScan)
+    }
+
+    /// The plan's modeled cost: the sum of per-step cardinality
+    /// estimates, i.e. the number of index-edge traversals the planner
+    /// expects execution to perform. Used by the adaptive layer to
+    /// compare candidate plans and pick an execution mode.
+    pub fn cost(&self) -> u64 {
+        self.steps
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.estimate as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+    use wukong_rdf::{Pid, Vid};
+
+    fn step(graph: GraphName, estimate: usize) -> Step {
+        Step {
+            pattern: TriplePattern {
+                s: Term::Const(Vid(1)),
+                p: Pid(1),
+                o: Term::Var(0),
+                graph,
+            },
+            mode: StepMode::FromSubject,
+            estimate,
+        }
+    }
+
+    #[test]
+    fn sources_dedup_preserves_first_appearance_order() {
+        // Fork-join shard fan-out iterates `sources()` per firing, so
+        // the order must be the step order (first appearance), not some
+        // hash order — and repeats must collapse.
+        let plan = Plan {
+            steps: vec![
+                step(GraphName::Stream(2), 1),
+                step(GraphName::Stored, 1),
+                step(GraphName::Stream(2), 1),
+                step(GraphName::Stream(0), 1),
+                step(GraphName::Stored, 1),
+                step(GraphName::Stream(0), 1),
+            ],
+        };
+        assert_eq!(
+            plan.sources(),
+            vec![
+                GraphName::Stream(2),
+                GraphName::Stored,
+                GraphName::Stream(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn cost_sums_step_estimates_saturating() {
+        let plan = Plan {
+            steps: vec![
+                step(GraphName::Stored, 3),
+                step(GraphName::Stored, 40),
+                step(GraphName::Stored, 500),
+            ],
+        };
+        assert_eq!(plan.cost(), 543);
+        let huge = Plan {
+            steps: vec![
+                step(GraphName::Stored, usize::MAX),
+                step(GraphName::Stored, usize::MAX),
+            ],
+        };
+        assert_eq!(huge.cost(), u64::MAX);
     }
 }

@@ -11,10 +11,33 @@
 //! constant), the one with the smallest estimated fan-out; fall back to a
 //! predicate index scan when nothing is anchored.
 
-use crate::ast::{Query, Term, TriplePattern};
+use crate::ast::{GraphName, Query, Term, TriplePattern};
 use crate::exec::{ExecContext, GraphAccess};
 use crate::plan::{Plan, Step, StepMode};
 use wukong_rdf::{Dir, Key};
+
+/// Total order over pattern content, used to break estimate ties. With a
+/// content-based tie-break the greedy choice at every iteration is a pure
+/// function of the *set* of remaining patterns (mode and estimate already
+/// depend only on pattern + bound vars), so the produced plan — and its
+/// cost — is invariant under permutation of the input pattern list.
+fn pattern_key(p: &TriplePattern) -> (u8, usize, u64, (u8, u64), (u8, u64)) {
+    let term_key = |t: Term| match t {
+        Term::Const(v) => (0u8, v.0),
+        Term::Var(v) => (1u8, v as u64),
+    };
+    let graph_key = match p.graph {
+        GraphName::Stored => (0u8, 0usize),
+        GraphName::Stream(i) => (1u8, i),
+    };
+    (
+        graph_key.0,
+        graph_key.1,
+        p.p.0,
+        term_key(p.s),
+        term_key(p.o),
+    )
+}
 
 /// Cost assigned to expanding from an already-bound variable: the planner
 /// cannot know the concrete vertex yet, so it charges a per-row fan-out
@@ -94,7 +117,9 @@ pub fn plan_patterns(
     let mut steps = Vec::with_capacity(remaining.len());
 
     while !remaining.is_empty() {
-        // Prefer connected patterns; among them the cheapest anchor.
+        // Prefer connected patterns; among them the cheapest anchor;
+        // estimate ties break on pattern content (see [`pattern_key`])
+        // so the plan does not depend on the input pattern order.
         let mut best: Option<(usize, StepMode, usize)> = None;
         for (i, p) in remaining.iter().enumerate() {
             let (mode, est) = anchor_estimate(p, &bound, access, ctx);
@@ -102,11 +127,13 @@ pub fn plan_patterns(
             let candidate = (i, mode, est);
             best = match best {
                 None => Some(candidate),
-                Some((_, bmode, best_est)) => {
+                Some((bi, bmode, best_est)) => {
                     let best_connected = bmode != StepMode::IndexScan;
-                    // Connected beats disconnected; then lower estimate.
                     if (connected && !best_connected)
                         || (connected == best_connected && est < best_est)
+                        || (connected == best_connected
+                            && est == best_est
+                            && pattern_key(p) < pattern_key(&remaining[bi]))
                     {
                         Some(candidate)
                     } else {

@@ -35,6 +35,6 @@ pub use gc::GcStats;
 pub use persistent::PersistentShard;
 pub use sharding::ShardMap;
 pub use snapshot::SnapshotId;
-pub use stats::StoreStats;
+pub use stats::{StatsEpoch, StoreStats};
 pub use stream_index::{FatPointer, IndexBatch, StreamIndex};
 pub use transient::{TransientSlice, TransientStore};

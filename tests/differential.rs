@@ -1,17 +1,21 @@
-//! Three-way differential oracle: the recompute engine, the incremental
-//! (delta-maintenance) engine, and a naive relational re-evaluation.
+//! Four-way differential oracle: the recompute engine, the incremental
+//! (delta-maintenance) engine, the adaptive engine (plan cache +
+//! cardinality feedback + cost-model mode selection), and a naive
+//! relational re-evaluation.
 //!
 //! Seeded generators produce random stored graphs, stream timelines, and
 //! conjunctive continuous queries; the workload runs through the full
-//! engine **twice** — once recomputing every firing from scratch and once
-//! with `EngineConfig::incremental` maintaining per-query window state —
-//! and the two firing sequences must agree *byte for byte* (same firing
-//! order, same unsorted rows, same aggregates). The recompute run is then
-//! re-checked against `wukong_baselines::TripleTable` — scans and hash
-//! joins over the stored triples plus the per-stream window contents.
-//! The three implementations share nothing beyond the parser, so
-//! agreement on every (query, window_end) pair is strong evidence that
-//! both execution paths preserve the engine's semantics.
+//! engine **four times** — recomputing every firing from scratch, with
+//! `EngineConfig::incremental` maintaining per-query window state, and
+//! both again with `EngineConfig::adaptive` re-planning on drift — and
+//! every firing sequence must agree with the static recompute run *byte
+//! for byte* (same firing order, same unsorted rows, same aggregates).
+//! The recompute run is then re-checked against
+//! `wukong_baselines::TripleTable` — scans and hash joins over the
+//! stored triples plus the per-stream window contents. The
+//! implementations share nothing beyond the parser, so agreement on
+//! every (query, window_end) pair is strong evidence that every
+//! execution path preserves the engine's semantics.
 //!
 //! The generated window geometry sweeps the overlap regimes that stress
 //! delta maintenance differently: tumbling windows (range == step, no
@@ -295,7 +299,7 @@ fn oracle_rows(
 // ---------------------------------------------------------------------
 
 struct Divergence {
-    /// Which pair of the three implementations disagreed.
+    /// Which pair of the four implementations disagreed.
     kind: &'static str,
     query: usize,
     window_end: Timestamp,
@@ -304,18 +308,21 @@ struct Divergence {
 }
 
 /// Runs the first `prefix` timeline tuples through a fresh engine
-/// (delta-maintained or recomputing per `incremental`) and returns the
-/// firing sequence plus the registered query IDs.
+/// (delta-maintained or recomputing per `incremental`, re-planning on
+/// drift per `adaptive`) and returns the firing sequence plus the
+/// registered query IDs.
 fn run_engine(
     sc: &Scenario,
     workers: usize,
     prefix: usize,
     incremental: bool,
+    adaptive: bool,
 ) -> (Vec<Firing>, Vec<usize>) {
     let engine = WukongS::with_strings(
         EngineConfig::cluster(3)
             .with_workers(workers)
-            .with_incremental(incremental),
+            .with_incremental(incremental)
+            .with_adaptive(adaptive),
         Arc::clone(&sc.strings),
     );
     engine.load_base(sc.stored.iter().copied());
@@ -352,55 +359,79 @@ fn run_engine(
     (firings, ids)
 }
 
-/// Runs the first `prefix` timeline tuples through both engine modes and
-/// cross-checks every firing three ways: incremental ≡ recompute (byte
-/// for byte, rows unsorted) and recompute ≡ relational oracle (sorted).
-/// Returns `(firings checked, firings with at least one row)` — the
-/// second count guards against vacuous agreement on nothing-but-empty
-/// windows.
+/// Compares a candidate firing sequence byte-for-byte against the static
+/// recompute baseline — same firing order, same unsorted row order, same
+/// aggregates and variable names.
+fn compare_firings(
+    kind: &'static str,
+    baseline: &[Firing],
+    candidate: &[Firing],
+    ids: &[usize],
+) -> Result<(), Box<Divergence>> {
+    let qi_of = |f: &Firing| ids.iter().position(|id| *id == f.query).expect("known");
+    if baseline.len() != candidate.len() {
+        let (f, rows_base, rows_cand) = if candidate.len() > baseline.len() {
+            let f = &candidate[baseline.len()];
+            (f, Vec::new(), f.results.rows.clone())
+        } else {
+            let f = &baseline[candidate.len()];
+            (f, f.results.rows.clone(), Vec::new())
+        };
+        return Err(Box::new(Divergence {
+            kind,
+            query: qi_of(f),
+            window_end: f.window_end,
+            engine_rows: rows_cand,
+            oracle_rows: rows_base,
+        }));
+    }
+    for (base, cand) in baseline.iter().zip(candidate) {
+        if base.query != cand.query
+            || base.window_end != cand.window_end
+            || base.results != cand.results
+        {
+            return Err(Box::new(Divergence {
+                kind,
+                query: qi_of(base),
+                window_end: base.window_end,
+                engine_rows: cand.results.rows.clone(),
+                oracle_rows: base.results.rows.clone(),
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the first `prefix` timeline tuples through all four engine modes
+/// and cross-checks every firing: incremental ≡ recompute, adaptive
+/// recompute ≡ static recompute, adaptive incremental ≡ static recompute
+/// (all byte for byte, rows unsorted), and recompute ≡ relational oracle
+/// (sorted). Returns `(firings checked, firings with at least one row)`
+/// — the second count guards against vacuous agreement on
+/// nothing-but-empty windows.
 fn check_prefix(
     sc: &Scenario,
     workers: usize,
     prefix: usize,
-) -> Result<(usize, usize), Divergence> {
-    let (firings, ids) = run_engine(sc, workers, prefix, false);
-    let (inc_firings, inc_ids) = run_engine(sc, workers, prefix, true);
-    assert_eq!(ids, inc_ids, "registration order must not depend on mode");
+) -> Result<(usize, usize), Box<Divergence>> {
+    let (firings, ids) = run_engine(sc, workers, prefix, false, false);
 
-    // Leg 1: the incremental engine's firing sequence must be
-    // byte-identical to the recompute engine's — same firing order, same
-    // unsorted row order, same aggregates and variable names.
-    let qi_of = |f: &Firing| ids.iter().position(|id| *id == f.query).expect("known");
-    if firings.len() != inc_firings.len() {
-        let (f, rows_rec, rows_inc) = if inc_firings.len() > firings.len() {
-            let f = &inc_firings[firings.len()];
-            (f, Vec::new(), f.results.rows.clone())
-        } else {
-            let f = &firings[inc_firings.len()];
-            (f, f.results.rows.clone(), Vec::new())
-        };
-        return Err(Divergence {
-            kind: "incremental engine vs recompute engine (firing counts)",
-            query: qi_of(f),
-            window_end: f.window_end,
-            engine_rows: rows_inc,
-            oracle_rows: rows_rec,
-        });
-    }
-    for (rec, inc) in firings.iter().zip(&inc_firings) {
-        if rec.query != inc.query || rec.window_end != inc.window_end || rec.results != inc.results
-        {
-            return Err(Divergence {
-                kind: "incremental engine vs recompute engine",
-                query: qi_of(rec),
-                window_end: rec.window_end,
-                engine_rows: inc.results.rows.clone(),
-                oracle_rows: rec.results.rows.clone(),
-            });
-        }
+    // Legs 1-3: every other engine mode against the static recompute
+    // baseline. The adaptive legs may re-plan mid-stream and flip
+    // execution modes per the cost model; none of that may perturb a
+    // single emitted byte.
+    let modes: [(&'static str, bool, bool); 3] = [
+        ("incremental engine vs recompute engine", true, false),
+        ("adaptive recompute engine vs static engine", false, true),
+        ("adaptive incremental engine vs static engine", true, true),
+    ];
+    for (kind, incremental, adaptive) in modes {
+        let (other, other_ids) = run_engine(sc, workers, prefix, incremental, adaptive);
+        assert_eq!(ids, other_ids, "registration order must not depend on mode");
+        compare_firings(kind, &firings, &other, &ids)?;
     }
 
-    // Leg 2: the recompute engine vs the independent scan+join oracle.
+    // Leg 4: the recompute engine vs the independent scan+join oracle.
     let timeline = &sc.timeline[..prefix];
     let asts: Vec<Query> = sc
         .queries
@@ -412,18 +443,18 @@ fn check_prefix(
     let mut checked = 0;
     let mut nonempty = 0;
     for f in &firings {
-        let qi = qi_of(f);
+        let qi = ids.iter().position(|id| *id == f.query).expect("known");
         let expect = oracle_rows(&asts[qi], &stored_tt, timeline, f.window_end);
         let mut got = f.results.rows.clone();
         got.sort();
         if got != expect {
-            return Err(Divergence {
+            return Err(Box::new(Divergence {
                 kind: "recompute engine vs relational oracle",
                 query: qi,
                 window_end: f.window_end,
                 engine_rows: got,
                 oracle_rows: expect,
-            });
+            }));
         }
         checked += 1;
         nonempty += usize::from(!expect.is_empty());
@@ -498,7 +529,7 @@ fn parallel_engine_agrees_with_relational_oracle() {
 
 #[test]
 fn oracle_agreement_holds_at_every_worker_count() {
-    for workers in [1, 2, 8] {
+    for workers in [1, 2, 4, 8] {
         let (checked, _) = check_seed(7, workers);
         assert!(checked > 10, "only {checked} firings at {workers} workers");
     }
@@ -508,9 +539,9 @@ fn oracle_agreement_holds_at_every_worker_count() {
 /// differently: tumbling (range == step, zero survivors), 50% overlap,
 /// 75% overlap with range 4× the batch interval, and disjoint slides
 /// (step > range, everything retracted every firing). Each regime runs
-/// the full three-way check over a seeded join-heavy timeline.
+/// the full four-way check over a seeded join-heavy timeline.
 #[test]
-fn three_way_agreement_sweeps_overlap_regimes() {
+fn four_way_agreement_sweeps_overlap_regimes() {
     for (range, step) in [(100u64, 100u64), (200, 100), (400, 100), (100, 300)] {
         let mut rng = Rng(0xA5A5 ^ (range << 4) ^ step);
         let strings = Arc::new(StringServer::new());
