@@ -46,7 +46,7 @@ if [[ "${1:-}" == "--quick" ]]; then
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 6' "$out/table2.json"
+    grep -q '"schema_version": 7' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
 
     echo "== recovery drill smoke (tiny scale)"
@@ -82,6 +82,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     grep -q '"all_match": 1' "$out/adaptive.json"
     grep -q '"plan"' "$out/adaptive.json"
     echo "adaptive OK: $out/adaptive.json"
+
+    echo "== composed-fault chaos smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_chaos -- --quick --json "$out/chaos.json"
+    grep -q '"all_pass": 1' "$out/chaos.json"
+    grep -q '"integrity"' "$out/chaos.json"
+    echo "chaos OK: $out/chaos.json"
 fi
 
 echo "CI green"

@@ -6,8 +6,8 @@ use std::path::PathBuf;
 use wukong_core::metrics::LatencyRecorder;
 use wukong_core::{RecoveryReport, WukongS};
 use wukong_obs::{
-    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, Json, OverloadSnapshot, PlanSnapshot,
-    PoolSnapshot, RegistrySnapshot,
+    FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, IntegritySnapshot, Json,
+    OverloadSnapshot, PlanSnapshot, PoolSnapshot, RegistrySnapshot,
 };
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
@@ -25,26 +25,30 @@ use wukong_obs::{
 /// firings); 6 = added the `plan` top-level member (adaptive-planning
 /// counters: plan-cache hits/misses, feedback firings, drift, re-plans,
 /// delta rebuilds, cost-model mode decisions, and the modeled
-/// `edges_traversed` work metric).
-pub const JSON_SCHEMA_VERSION: u64 = 6;
+/// `edges_traversed` work metric); 7 = added the `integrity` top-level
+/// member (state-integrity counters: per-site checksum failures,
+/// scrubber violations, quarantines, rebuilds) and extended `recovery`
+/// with `integrity_violations` and `quarantined_shards`.
+pub const JSON_SCHEMA_VERSION: u64 = 7;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 6):
+/// Document layout (`schema_version` 7):
 ///
 /// ```json
 /// {
-///   "schema_version": 6,
+///   "schema_version": 7,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
 ///   "fabric":     { "one_sided_reads", "messages", "bytes_read", "bytes_sent", "charged_ns" },
 ///   "faults":     { "msgs_dropped", "retransmits", "rpc_timeouts", ... },
 ///   "recovery":   { "recovery_ms", "replayed_batches", "replayed_queries",
-///                   "dedup_suppressed", "restored_stable_sn" },
+///                   "dedup_suppressed", "restored_stable_sn",
+///                   "integrity_violations", "quarantined_shards" },
 ///   "pool":       { "tasks", "regions", "steals", "max_queue_depth",
 ///                   "serial_busy_ns", "modeled_busy_ns", "region_wall_ns" },
 ///   "incremental": { "incremental_firings", "rebuild_firings", "fallback_firings",
@@ -56,6 +60,9 @@ pub const JSON_SCHEMA_VERSION: u64 = 6;
 ///   "plan":       { "cache_hits", "cache_misses", "feedback_firings",
 ///                   "drifted_firings", "replans", "delta_rebuilds",
 ///                   "mode_inplace", "mode_forkjoin", "edges_traversed" },
+///   "integrity":  { "checksum_fail_batch", "checksum_fail_message",
+///                   "checksum_fail_checkpoint", "scrub_violations",
+///                   "quarantines", "rebuilds", "rebuild_ns" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
@@ -74,7 +81,10 @@ pub const JSON_SCHEMA_VERSION: u64 = 6;
 /// counters (all zero unless the engine ran with
 /// `EngineConfig::ingest_budget`); `plan` carries the adaptive-planning
 /// counters (`edges_traversed` accumulates in every run; the rest stay
-/// zero unless the engine ran with `EngineConfig::adaptive`).
+/// zero unless the engine ran with `EngineConfig::adaptive`);
+/// `integrity` carries the state-integrity counters (all zero unless
+/// corruption was detected, a shard was quarantined, or the scrubber
+/// found a violated invariant).
 ///
 /// where every `{...}` stage/histogram entry carries
 /// `{"count", "sum_ns", "p50_ns", "p99_ns"}`.
@@ -158,6 +168,7 @@ impl BenchJson {
         doc.set("incremental", Json::object());
         doc.set("overload", Json::object());
         doc.set("plan", Json::object());
+        doc.set("integrity", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -264,6 +275,18 @@ impl BenchJson {
         *self.member("plan") = o;
     }
 
+    /// Records the state-integrity counters (usually an interval delta).
+    pub fn integrity(&mut self, snap: &IntegritySnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("integrity") = o;
+    }
+
     /// Records a recovery's replay metrics.
     pub fn recovery(&mut self, r: &RecoveryReport) {
         if !self.active() {
@@ -275,6 +298,8 @@ impl BenchJson {
         o.set("replayed_queries", Json::from(r.replayed_queries));
         o.set("dedup_suppressed", Json::from(r.dedup_suppressed));
         o.set("restored_stable_sn", Json::from(r.restored_stable_sn));
+        o.set("integrity_violations", Json::from(r.integrity_violations));
+        o.set("quarantined_shards", Json::from(r.quarantined_shards));
         *self.member("recovery") = o;
     }
 
@@ -310,6 +335,7 @@ impl BenchJson {
         self.incremental(&engine.handle().obs().incremental().snapshot());
         self.overload(&engine.handle().obs().overload().snapshot());
         self.plan(&engine.handle().obs().plan().snapshot());
+        self.integrity(&engine.handle().obs().integrity().snapshot());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -357,7 +383,7 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(7));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
@@ -371,6 +397,7 @@ mod bench_json_tests {
             "incremental",
             "overload",
             "plan",
+            "integrity",
             "stages",
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");
@@ -498,6 +525,8 @@ mod bench_json_tests {
             replayed_queries: 2,
             dedup_suppressed: 3,
             restored_stable_sn: 9,
+            integrity_violations: 1,
+            quarantined_shards: 2,
         };
         j.recovery(&rep);
         let doc = j.document();
@@ -508,6 +537,40 @@ mod bench_json_tests {
         assert_eq!(r.get("replayed_batches").and_then(Json::as_u64), Some(40));
         assert_eq!(r.get("recovery_ms").and_then(Json::as_f64), Some(1.25));
         assert_eq!(r.get("restored_stable_sn").and_then(Json::as_u64), Some(9));
+        assert_eq!(
+            r.get("integrity_violations").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(r.get("quarantined_shards").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn integrity_section_round_trips() {
+        let mut j = BenchJson::to_path("t", "/tmp/ignored.json");
+        let snap = IntegritySnapshot {
+            checksum_fail_batch: 1,
+            checksum_fail_message: 5,
+            checksum_fail_checkpoint: 2,
+            scrub_violations: 0,
+            quarantines: 3,
+            rebuilds: 3,
+            rebuild_ns: 42_000,
+        };
+        j.integrity(&snap);
+        let i = j.document().get("integrity").unwrap();
+        assert_eq!(i.get("checksum_fail_batch").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            i.get("checksum_fail_message").and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            i.get("checksum_fail_checkpoint").and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(i.get("scrub_violations").and_then(Json::as_u64), Some(0));
+        assert_eq!(i.get("quarantines").and_then(Json::as_u64), Some(3));
+        assert_eq!(i.get("rebuilds").and_then(Json::as_u64), Some(3));
+        assert_eq!(i.get("rebuild_ns").and_then(Json::as_u64), Some(42_000));
     }
 }
 /// Formats milliseconds the way the paper's tables do: two decimals below

@@ -123,15 +123,15 @@ mod tests {
         let sidx = cluster.add_stream(StreamSchema::timeless(StreamId(0), "S", 100));
         let stream = cluster.stream(sidx);
 
-        let batch = Batch {
-            stream: StreamId(0),
-            timestamp: 100,
-            tuples: vec![StreamTuple::timeless(
+        let batch = Batch::sealed(
+            StreamId(0),
+            100,
+            vec![StreamTuple::timeless(
                 Triple::new(Vid(1), Pid(4), Vid(3)),
                 80,
             )],
-            discarded: 0,
-        };
+            0,
+        );
         let subs = dispatch(&batch, cluster.shard_map());
         let mut store = NodeStreamStore::new(1 << 20);
         let (ib, _) = Injector.apply(cluster.shard(0), &mut store, &subs[0], 100, SnapshotId(1));

@@ -11,6 +11,7 @@ use crate::checkpoint::{Checkpoint, LoggedBatch, LoggedQuery};
 use crate::cluster::Cluster;
 use crate::config::{EngineConfig, ExecMode};
 use crate::forkjoin::execute_forkjoin_traced;
+use crate::scrub::ScrubViolation;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -32,6 +33,10 @@ use wukong_stream::{
 
 /// Handle of a registered continuous query.
 pub type ContinuousId = usize;
+
+/// One ready window batch: the fired `(stream, lo, hi)` instances plus
+/// the snapshot the SN-VTS plan assigned to the window's end.
+type AssignedBatch = Vec<(Vec<(usize, Timestamp, Timestamp)>, wukong_store::SnapshotId)>;
 
 /// Simulated per-batch logging delay under fault tolerance (§6.8 measures
 /// ≈ 0.3 ms per batch on the paper's testbed).
@@ -84,6 +89,14 @@ pub struct RecoveryReport {
     pub dedup_suppressed: u64,
     /// The stable snapshot number after replay.
     pub restored_stable_sn: u64,
+    /// Integrity violations the recovery path detected and routed around
+    /// (e.g. a corrupted durable checkpoint rejected by its section
+    /// checksums, forcing the pristine upstream copy — DESIGN.md §13).
+    pub integrity_violations: u64,
+    /// Shards that were in quarantine when the rebuild started; recovery
+    /// replays their pristine logged batches, so the rebuilt engine
+    /// starts with none.
+    pub quarantined_shards: u64,
 }
 
 /// The deadline-aware degradation state machine (DESIGN.md §11).
@@ -175,6 +188,20 @@ struct Pipeline {
     /// Stream time when a latency-miss streak tripped the state machine
     /// (shed-driven trips anchor on the shedder's `last_shed_ts`).
     tripped_at: Option<Timestamp>,
+    /// Per-node quarantine flags (DESIGN.md §13): a node whose sub-batch
+    /// failed its install-site checksum stops installing and reporting —
+    /// its local VTS pins exactly like a dead node's, so no firing ever
+    /// advances past the poisoned point — until rebuild-from-checkpoint.
+    quarantined: Vec<bool>,
+    /// Conservation ledger, ingest side: tuples that entered the
+    /// pipeline (scrubber invariant, DESIGN.md §13).
+    ledger_in: u64,
+    /// Conservation ledger, egress side: tuples handed to per-node
+    /// install (or consumed by dedup/rejection) by `process_batch`.
+    ledger_installed: u64,
+    /// Per-node local VTS entries at the previous scrub pass, for the
+    /// monotonicity check.
+    scrub_last: Vec<Vec<Timestamp>>,
 }
 
 /// A Wukong+S deployment.
@@ -221,6 +248,10 @@ impl WukongS {
                 overload: OverloadState::Normal,
                 miss_streak: 0,
                 tripped_at: None,
+                quarantined: vec![false; cfg.nodes],
+                ledger_in: 0,
+                ledger_installed: 0,
+                scrub_last: vec![Vec::new(); cfg.nodes],
             }),
             registry: RwLock::new(Vec::new()),
             next_home: AtomicUsize::new(0),
@@ -383,6 +414,7 @@ impl WukongS {
             });
             pl.inject_stats[s].inject_ns += LOGGING_DELAY_NS;
         }
+        pl.ledger_in += batch.tuples.len() as u64;
         pl.pending[s].push_back(batch);
 
         // Bounded ingest: enforce the per-stream budget over the pending
@@ -471,7 +503,7 @@ impl WukongS {
 
         let retained = pl.shedder.take_retained();
         let sn = pl.coordinator.stable_sn();
-        let merge = pl.merge_upto;
+        let merge = self.clamped_merge(pl);
         let nodes = self.cluster.nodes();
         let fabric = self.cluster.fabric();
         let mut scratch = TaskTimer::start();
@@ -481,12 +513,7 @@ impl WukongS {
             let s = stream_id.0 as usize;
             touched.insert(s);
             replayed += tuples.len() as u64;
-            let batch = Batch {
-                stream: stream_id,
-                timestamp: ts,
-                tuples,
-                discarded: 0,
-            };
+            let batch = Batch::sealed(stream_id, ts, tuples, 0);
             let stream = self.cluster.stream(s);
             *stream.raw_bytes.write() += self.textual_bytes(&batch);
             let subs = dispatch(&batch, self.cluster.shard_map());
@@ -593,6 +620,40 @@ impl WukongS {
         );
     }
 
+    /// The consolidation horizon actually applied to installs: the raw
+    /// stable-SN horizon, clamped at every un-fired window's *assigned*
+    /// snapshot. Consolidation merges snapshot intervals into the
+    /// timeless base — visible at **every** snapshot — so merging past a
+    /// window's assigned snapshot would inflate its historical read and
+    /// its rows would stop being a pure function of the window (the
+    /// assigned-snapshot firing contract, DESIGN.md §13). On-cadence
+    /// windows sit at most one epoch behind the horizon, so the clamp
+    /// costs nothing in steady state; it only holds consolidation back
+    /// while an outage or a recovery replay has delayed firings.
+    fn clamped_merge(&self, pl: &Pipeline) -> Option<wukong_store::SnapshotId> {
+        let raw = pl.merge_upto?;
+        let mut merge = raw;
+        for r in self.registry.read().iter() {
+            if r.retired.load(Ordering::Relaxed) {
+                continue;
+            }
+            let w = r.window.lock();
+            let hi = w.next_fire();
+            // A firing reads at the max assigned epoch over its streams;
+            // merging up to exactly that snapshot keeps the visible set
+            // unchanged (merged tags ⊆ tags the read covers).
+            if let Some(sn_w) = w
+                .windows()
+                .iter()
+                .filter_map(|sw| pl.coordinator.snapshot_at(sw.stream, hi))
+                .max()
+            {
+                merge = merge.min(sn_w);
+            }
+        }
+        Some(merge)
+    }
+
     /// Processes pending batches until no stream can make progress.
     fn drain_pending(&self, pl: &mut Pipeline) {
         loop {
@@ -646,6 +707,19 @@ impl WukongS {
 
     fn process_batch(&self, pl: &mut Pipeline, batch: Batch, sn: wukong_store::SnapshotId) {
         let s = batch.stream.0 as usize;
+        // Conservation ledger: the batch leaves the pending queues here —
+        // installed, dedup-suppressed, or rejected alike — so the egress
+        // side counts before any early return (scrubber invariant,
+        // DESIGN.md §13).
+        pl.ledger_installed += batch.tuples.len() as u64;
+        // Batch-site integrity: a payload that no longer matches its
+        // sealed checksum must never install anywhere. Dropping it stalls
+        // the stream's VTS at the previous batch — detection before
+        // emission — and recovery replays the pristine logged copy.
+        if !batch.verify() {
+            self.cluster.obs().integrity().inc_checksum_fail_batch();
+            return;
+        }
         // At-least-once suppression: a batch at or below the stream's
         // stable timestamp is already inserted on every node, so a
         // redelivery (upstream retry, log replay into a live engine)
@@ -666,7 +740,7 @@ impl WukongS {
         // retransmitted, duplicate copies suppressed), and sub-batches
         // for dead nodes are lost until recovery replays the log.
         let dispatch_start = std::time::Instant::now();
-        let subs = dispatch(&batch, self.cluster.shard_map());
+        let mut subs = dispatch(&batch, self.cluster.shard_map());
         let fabric = self.cluster.fabric();
         let faulty = fabric.faults_enabled();
         let nodes = self.cluster.nodes();
@@ -685,8 +759,18 @@ impl WukongS {
         // this batch. An empty sub-batch "arrives" implicitly — no
         // message — but still only on live nodes.
         let mut delivered = vec![true; nodes];
+        for (node, q) in pl.quarantined.iter().enumerate() {
+            if *q {
+                delivered[node] = false;
+            }
+        }
         for sub in &subs {
             let to = NodeId(sub.node);
+            if !delivered[sub.node as usize] {
+                // Quarantined destination: treated exactly like a dead
+                // node — no send, no install, no report (DESIGN.md §13).
+                continue;
+            }
             if faulty && !fabric.is_up(to) {
                 delivered[sub.node as usize] = false;
                 if !sub.tuples.is_empty() {
@@ -712,6 +796,44 @@ impl WukongS {
         }
         let dispatch_ns = dispatch_start.elapsed().as_nanos() as u64;
 
+        // In-flight corruption (chaos): an active corruption rule may
+        // flip one bit in a delivered remote sub-batch between the wire
+        // and the store. Only delivered non-empty remote subs are
+        // candidates, so every injected flip meets the install-site
+        // check below — the 100%-detection gate in `exp_chaos`.
+        if faulty {
+            if let Some(fs) = fabric.fault_state() {
+                for sub in subs.iter_mut() {
+                    let node = sub.node as usize;
+                    if node == entry_idx || sub.tuples.is_empty() || !delivered[node] {
+                        continue;
+                    }
+                    if let Some(bits) = fs.corrupt_message(entry, NodeId(sub.node)) {
+                        let i = (bits >> 8) as usize % sub.tuples.len();
+                        sub.tuples[i].triple.o.0 ^= 1 << (bits & 63);
+                    }
+                }
+            }
+        }
+        // Install-site integrity: a sub-batch that fails its
+        // dispatch-time checksum must never reach the store. The
+        // receiving shard enters quarantine — it stops installing and
+        // reporting, so its local VTS pins exactly like a dead node's
+        // and no firing advances past the poisoned point — until
+        // rebuild-from-checkpoint replays the pristine logged batches.
+        for sub in &subs {
+            let node = sub.node as usize;
+            if delivered[node] && !sub.verify() {
+                let integrity = self.cluster.obs().integrity();
+                integrity.inc_checksum_fail_message();
+                if !pl.quarantined[node] {
+                    pl.quarantined[node] = true;
+                    integrity.inc_quarantine();
+                }
+                delivered[node] = false;
+            }
+        }
+
         // Inject on every node, collecting per-node receipts and stats.
         // Each node applies only the key updates it owns; first-edge
         // events produce index-vertex updates that phase 2 routes to the
@@ -724,7 +846,7 @@ impl WukongS {
         // disjoint, so concurrent sub-batch application touches disjoint
         // shards, transient rings, and pending index updates — race-free
         // by construction, identical receipts for any thread count.
-        let merge = pl.merge_upto;
+        let merge = self.clamped_merge(pl);
         let ts = batch.timestamp;
         let nodes = self.cluster.nodes();
         for sub in &subs {
@@ -1477,9 +1599,12 @@ impl WukongS {
     /// result rows, and CONSTRUCT emissions are identical for any
     /// `worker_threads` value (DESIGN.md §9).
     pub fn fire_ready(&self) -> Vec<Firing> {
-        let (stable, sn) = {
+        let (stable, quarantined) = {
             let pl = self.pipeline.lock();
-            pl.coordinator.visibility()
+            (
+                pl.coordinator.stable_vts().clone(),
+                Self::quarantined_of(&pl),
+            )
         };
         let registry: Vec<Arc<Registered>> = self.registry.read().clone();
         let mut out = Vec::new();
@@ -1487,15 +1612,34 @@ impl WukongS {
             if r.retired.load(Ordering::Relaxed) {
                 continue;
             }
-            // Gather every window batch this query can fire at the
-            // snapshot, then execute the batch on the pool. Serialized
-            // window advancement + deterministic pool merge means the
-            // firing sequence is schedule-independent.
-            let batch: Vec<Vec<(usize, Timestamp, Timestamp)>> = {
+            // Gather every window batch this query can fire, each tagged
+            // with its *assigned* snapshot — the epoch the SN-VTS plan
+            // gave the window's end, not the stable SN of the moment the
+            // firing happens to run. Faults delay firings; executing at
+            // the fire-time snapshot would make rows depend on *when* the
+            // window fired (more data visible at a later SN), a silent
+            // divergence no marker explains. Assigned-snapshot execution
+            // makes every firing's rows a pure function of the window
+            // (DESIGN.md §13). A window whose epoch has not retired yet
+            // is held for a later round: its snapshot is still being
+            // inserted, so reading it would race the injectors.
+            let batch: AssignedBatch = {
+                let pl = self.pipeline.lock();
+                let cur_sn = pl.coordinator.stable_sn();
                 let mut w = r.window.lock();
                 let mut b = Vec::new();
                 while w.ready(&stable) {
-                    b.push(w.fire());
+                    let hi = w.next_fire();
+                    let sn_w = w
+                        .windows()
+                        .iter()
+                        .filter_map(|sw| pl.coordinator.snapshot_at(sw.stream, hi))
+                        .max()
+                        .unwrap_or(cur_sn);
+                    if sn_w > cur_sn {
+                        break;
+                    }
+                    b.push((w.fire(), sn_w));
                 }
                 b
             };
@@ -1510,9 +1654,9 @@ impl WukongS {
                 // order — identical at any worker count.
                 batch
                     .into_iter()
-                    .map(|instances| {
-                        let run = self.execute_incremental_at(r, &class, &instances, sn);
-                        (instances, run)
+                    .map(|(instances, sn_w)| {
+                        let run = self.execute_incremental_at(r, &class, &instances, sn_w);
+                        (instances, sn_w, run)
                     })
                     .collect()
             } else {
@@ -1522,17 +1666,19 @@ impl WukongS {
                     let inc = self.cluster.obs().incremental();
                     batch.iter().for_each(|_| inc.record_fallback());
                 }
-                self.cluster.pool(r.home).map(batch, |_, instances| {
-                    let run = self.execute_instances_at(r, &class, &instances, sn);
-                    (instances, run)
-                })
+                self.cluster
+                    .pool(r.home)
+                    .map(batch, |_, (instances, sn_w)| {
+                        let run = self.execute_instances_at(r, &class, &instances, sn_w);
+                        (instances, sn_w, run)
+                    })
             };
             // CONSTRUCT feeding, firing emission, and cardinality
             // feedback stay serialized on the coordinator side, in
             // window order — feedback order (and thus every re-plan
             // point) is independent of the worker count.
             let mut replanned_in_batch = false;
-            for (instances, (mut results, latency_ms, stages, fanout)) in executed {
+            for (instances, sn_w, (mut results, latency_ms, stages, fanout)) in executed {
                 let window_end = instances.first().map(|i| i.2).unwrap_or(0);
                 if self.cfg.adaptive && !replanned_in_batch {
                     // Firings executed after a mid-batch re-plan still
@@ -1540,19 +1686,17 @@ impl WukongS {
                     // estimates would be meaningless, so feedback skips
                     // the rest of this batch.
                     let observed = if maintained {
-                        self.probe_fanout(r, &instances, sn)
+                        self.probe_fanout(r, &instances, sn_w)
                     } else {
                         fanout
                     };
                     if self.observe_feedback(r, &observed) {
-                        let ctx = Self::context_at(sn, &instances);
+                        let ctx = Self::context_at(sn_w, &instances);
                         self.replan(r, &ctx, &class);
                         replanned_in_batch = true;
                     }
                 }
-                if self.cfg.ingest_budget.is_some() {
-                    self.degrade_and_track(&instances, &mut results, latency_ms);
-                }
+                self.degrade_and_track(&instances, &mut results, latency_ms);
                 // CONSTRUCT firings feed their derived stream with
                 // IStream semantics: only rows new relative to the
                 // previous firing are instantiated, so sliding windows do
@@ -1583,6 +1727,12 @@ impl WukongS {
                     }
                     *seen = current;
                 }
+                if !quarantined.is_empty() {
+                    // Containment marker: the firing executed against a
+                    // visibility snapshot pinned below every quarantined
+                    // shard's poisoned point, and says so (DESIGN.md §13).
+                    results.quarantined_shards = quarantined.clone();
+                }
                 out.push(Firing {
                     query: id,
                     name: r.query.name.clone(),
@@ -1612,19 +1762,38 @@ impl WukongS {
         let mut pl = self.pipeline.lock();
         let mut tuples_shed = 0u64;
         let mut windows_affected = 0u32;
+        let mut windows_aged = 0u32;
         for &(s, lo, hi) in instances {
             let n = pl.shedder.outstanding_in(StreamId(s as u16), lo, hi);
             if n > 0 {
                 tuples_shed += n;
                 windows_affected += 1;
             }
+            // Aging: a window that reaches below any node's transient
+            // eviction watermark fired too far behind stream time (an
+            // outage, a recovery replay, a clock jump) and may be
+            // missing aged-out rows. On-cadence firings never trip this
+            // — GC keeps `gc_slack_ms` of headroom behind the widest
+            // window — so the marker singles out exactly the delayed
+            // firings whose retention ran out.
+            let stream = self.cluster.stream(s);
+            if (0..self.cluster.nodes()).any(|n| stream.transients[n].read().evicted_upto() > lo) {
+                windows_aged += 1;
+            }
         }
-        if tuples_shed > 0 {
+        if tuples_shed > 0 || windows_aged > 0 {
             results.degraded = Some(Degraded {
                 tuples_shed,
                 windows_affected,
+                windows_aged,
             });
             self.cluster.obs().overload().inc_degraded_firing();
+        }
+        // The latency-miss streak may *open* shedding, which only makes
+        // sense when an ingest budget bounds what shedding admits — an
+        // unbudgeted engine marks degradation but never sheds.
+        if self.cfg.ingest_budget.is_none() {
+            return;
         }
         if latency_ms > self.cfg.overload.latency_budget_ms {
             pl.miss_streak += 1;
@@ -1660,6 +1829,114 @@ impl WukongS {
     /// staleness currently visible to degraded firings.
     pub fn shed_outstanding(&self) -> u64 {
         self.pipeline.lock().shedder.outstanding_total()
+    }
+
+    fn quarantined_of(pl: &Pipeline) -> Vec<u16> {
+        pl.quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q)
+            .map(|(n, _)| n as u16)
+            .collect()
+    }
+
+    /// Shards currently quarantined by an install-site checksum failure
+    /// (DESIGN.md §13). A quarantined shard installs and reports nothing
+    /// — its local VTS pins like a dead node's — until
+    /// rebuild-from-checkpoint clears it.
+    pub fn quarantined_nodes(&self) -> Vec<u16> {
+        Self::quarantined_of(&self.pipeline.lock())
+    }
+
+    /// The invariant scrubber (DESIGN.md §13): re-checks, between
+    /// firings, invariants the design argues hold by construction —
+    /// per-node VTS monotonicity since the previous scrub, the stable
+    /// VTS never ahead of the element-wise minimum of the local VTS, the
+    /// ingest conservation ledger (`ingested = installed + pending +
+    /// shed`), and every maintained query's death-timestamp bound
+    /// (`death > hi` for each retained row). Violations are returned and
+    /// counted into [`wukong_obs::IntegrityCounters`]; a clean engine
+    /// reports none under any fault schedule.
+    pub fn scrub(&self) -> Vec<ScrubViolation> {
+        let mut out = Vec::new();
+        {
+            let mut pl = self.pipeline.lock();
+            let nodes = self.cluster.nodes();
+            for n in 0..nodes {
+                let now = pl.coordinator.local_vts(n).entries().to_vec();
+                for (s, (&was, &cur)) in pl.scrub_last[n].iter().zip(&now).enumerate() {
+                    if cur < was {
+                        out.push(ScrubViolation::VtsRegression {
+                            node: n as u16,
+                            stream: s as u16,
+                            was,
+                            now: cur,
+                        });
+                    }
+                }
+                pl.scrub_last[n] = now;
+            }
+            for s in 0..pl.coordinator.streams() {
+                let stable = pl.coordinator.stable_vts().get(s);
+                let min_local = (0..nodes)
+                    .map(|n| pl.coordinator.local_vts(n).get(s))
+                    .min()
+                    .unwrap_or(stable);
+                if stable > min_local {
+                    out.push(ScrubViolation::StableAhead {
+                        stream: s as u16,
+                        stable,
+                        min_local,
+                    });
+                }
+            }
+            let pending: u64 = pl
+                .pending
+                .iter()
+                .flat_map(|q| q.iter())
+                .map(|b| b.tuples.len() as u64)
+                .sum();
+            let shed = pl.shedder.total_shed();
+            if pl.ledger_in != pl.ledger_installed + pending + shed {
+                out.push(ScrubViolation::ConservationMismatch {
+                    ingested: pl.ledger_in,
+                    installed: pl.ledger_installed,
+                    pending,
+                    shed,
+                });
+            }
+        }
+        // Death bounds read per-query delta state outside the pipeline
+        // lock (same order the firing path takes them).
+        for r in self.registry.read().iter() {
+            if r.retired.load(Ordering::Relaxed) {
+                continue;
+            }
+            let delta = r.delta.lock();
+            let Some(st) = delta.as_ref() else { continue };
+            let hi = st.windows().iter().map(|w| w.hi).max().unwrap_or(0);
+            let rows = st.rows();
+            for i in 0..rows.len() {
+                if rows.death(i) <= hi {
+                    out.push(ScrubViolation::DeathBound {
+                        query: r
+                            .query
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| "<unnamed>".to_string()),
+                        death: rows.death(i),
+                        hi,
+                    });
+                }
+            }
+        }
+        if !out.is_empty() {
+            self.cluster
+                .obs()
+                .integrity()
+                .add_scrub_violations(out.len() as u64);
+        }
+        out
     }
 
     /// Executes a registered query once against its *current* windows
@@ -1706,7 +1983,7 @@ impl WukongS {
             ));
         }
 
-        let (sn, windows) = {
+        let (sn, windows, quarantined) = {
             let pl = self.pipeline.lock();
             // Admission control: while the engine sheds load, one-shot
             // work is turned away before continuous queries degrade —
@@ -1719,13 +1996,14 @@ impl WukongS {
                 ));
             }
             let sn = pl.coordinator.stable_sn();
+            let quarantined = Self::quarantined_of(&pl);
             if query.streams.is_empty() {
                 if query.touches_stream() {
                     return Err(QueryError::MissingWindow(
                         "one-shot GRAPH <stream> patterns need FROM windows".into(),
                     ));
                 }
-                (sn, Vec::new())
+                (sn, Vec::new(), quarantined)
             } else {
                 // Resolve stream names and build windows at the stable VTS.
                 let streams = self.cluster.streams();
@@ -1742,7 +2020,7 @@ impl WukongS {
                         hi,
                     });
                 }
-                (sn, windows)
+                (sn, windows, quarantined)
             }
         };
         let ctx = ExecContext { sn, windows };
@@ -1774,7 +2052,7 @@ impl WukongS {
         };
         trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
         let mut fanout = Vec::new();
-        let results = self.run_traced(
+        let mut results = self.run_traced(
             &query,
             &plan,
             &ctx,
@@ -1783,6 +2061,9 @@ impl WukongS {
             &mut trace,
             &mut fanout,
         );
+        if !quarantined.is_empty() {
+            results.quarantined_shards = quarantined;
+        }
         let total_ns = timer.total_ns();
         let class = query.name.clone().unwrap_or_else(|| "one-shot".to_string());
         self.cluster.obs().record_query(&class, &trace, total_ns);
@@ -1954,6 +2235,9 @@ impl WukongS {
         // catching windows up to the replayed VTS would silently skip
         // every firing the outage had delayed — a lost-firing bug.
         let mut cp_stable: Option<Vts> = None;
+        // Per-stream high-water mark of replayed batch timestamps, for
+        // re-synthesizing coalesced clock jumps (below).
+        let mut replay_high: Vec<Timestamp> = Vec::new();
         for bytes in checkpoints {
             let cp = Checkpoint::decode(bytes)?;
             for q in &cp.queries {
@@ -1975,16 +2259,36 @@ impl WukongS {
             }
             let mut pl = engine.pipeline.lock();
             for lb in cp.batches {
-                let batch = Batch {
-                    stream: StreamId(lb.stream),
-                    timestamp: lb.timestamp,
-                    tuples: lb.tuples,
-                    discarded: 0,
-                };
+                // The log is the complete sealed-batch sequence, so a
+                // hole between consecutive logged timestamps proves the
+                // adaptor sealed nothing in between — it coalesced the
+                // gap into a clock jump. The jump itself is adaptor
+                // runtime state and died with the crash; re-synthesize
+                // it here, or the post-gap batch heads the FIFO pending
+                // queue forever (`snapshot_for` can never reach it) and
+                // the replayed VTS deadlocks below the gap.
+                let s = lb.stream as usize;
+                let interval = pl.adaptors[s].schema().batch_interval_ms;
+                if replay_high.len() <= s {
+                    replay_high.resize(s + 1, 0);
+                }
+                let last = replay_high[s];
+                if lb.timestamp > last + interval {
+                    pl.clock_jumps[s].push_back((last, lb.timestamp - interval));
+                }
+                replay_high[s] = replay_high[s].max(lb.timestamp);
+                let batch = Batch::sealed(StreamId(lb.stream), lb.timestamp, lb.tuples, 0);
                 report.replayed_batches += 1;
                 engine.enqueue_batch(&mut pl, batch);
+                // Drain after *every* replayed batch, not once per
+                // checkpoint: the log preserves ingestion order, and
+                // draining in that order retires the SN-VTS plan's
+                // epochs along the exact trajectory of the original run
+                // — which is what keeps every batch's (and therefore
+                // every window's) snapshot assignment identical across
+                // the crash (DESIGN.md §13).
+                engine.drain_pending(&mut pl);
             }
-            engine.drain_pending(&mut pl);
         }
         // Adaptors resume strictly after the replayed batches.
         {

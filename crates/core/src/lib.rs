@@ -61,6 +61,7 @@ pub mod engine;
 pub mod forkjoin;
 pub mod metrics;
 pub mod recovery;
+pub mod scrub;
 
 pub use client::{Client, Prepared, ProxyPool, Submitted};
 pub use cluster::ClusterHandle;
@@ -68,3 +69,4 @@ pub use config::{EngineConfig, ExecMode, OverloadPolicy, RpcPolicy};
 pub use engine::{ContinuousId, DeploymentStats, Firing, OverloadState, RecoveryReport, WukongS};
 pub use metrics::LatencyRecorder;
 pub use recovery::RecoveryManager;
+pub use scrub::ScrubViolation;

@@ -47,12 +47,44 @@ impl RecoveryManager {
         }
     }
 
-    /// The durable state a crash of `engine` would leave behind: every
-    /// drained checkpoint plus a tail checkpoint of the un-drained log.
-    pub fn durable_state(&self, engine: &WukongS) -> Vec<Bytes> {
+    /// One capture of the checkpoint chain. With `corrupt` set, an active
+    /// checkpoint-corruption rule may bit-rot each non-empty checkpoint on
+    /// the "durable medium" — the fault model of DESIGN.md §13, applied at
+    /// capture time so the running engine never sees the damage.
+    fn capture(&self, engine: &WukongS, corrupt: bool) -> Vec<Bytes> {
         let mut cps = engine.checkpoints();
         cps.push(engine.tail_checkpoint());
+        if corrupt {
+            if let Some(fs) = engine.cluster().fabric().fault_state() {
+                for cp in cps.iter_mut() {
+                    if cp.is_empty() {
+                        continue;
+                    }
+                    if let Some(bits) = fs.corrupt_checkpoint() {
+                        let mut raw = cp.to_vec();
+                        let bit = (bits as usize) % (raw.len() * 8);
+                        raw[bit / 8] ^= 1 << (bit % 8);
+                        *cp = Bytes::from(raw);
+                    }
+                }
+            }
+        }
         cps
+    }
+
+    /// The durable state a crash of `engine` would leave behind: every
+    /// drained checkpoint plus a tail checkpoint of the un-drained log.
+    /// Subject to bit-rot when the fault plan corrupts checkpoints.
+    pub fn durable_state(&self, engine: &WukongS) -> Vec<Bytes> {
+        self.capture(engine, true)
+    }
+
+    /// The pristine upstream copy of the same state (§5 assumes stream
+    /// sources can re-serve history): never bit-rotted, the fallback
+    /// [`RecoveryManager::recover_verified`] reaches for when the durable
+    /// chain fails its section checksums.
+    pub fn backup_state(&self, engine: &WukongS) -> Vec<Bytes> {
+        self.capture(engine, false)
     }
 
     /// Boots a fresh engine from durable state. The recovered deployment
@@ -81,5 +113,58 @@ impl RecoveryManager {
         engine.cluster().fabric().kill_node(node);
         let durable = self.durable_state(engine);
         self.recover(&durable)
+    }
+
+    /// Integrity-checked recovery: try the (possibly bit-rotted) durable
+    /// chain first; if its section checksums reject it, fall back to the
+    /// pristine upstream copy. Detection is never silent — the recovered
+    /// engine's integrity counters and the report both record it.
+    pub fn recover_verified(
+        &self,
+        durable: &[Bytes],
+        backup: &[Bytes],
+    ) -> Result<(WukongS, RecoveryReport), CheckpointError> {
+        match self.recover(durable) {
+            Ok(ok) => Ok(ok),
+            Err(_) => {
+                let (engine, mut report) = self.recover(backup)?;
+                engine
+                    .cluster()
+                    .obs()
+                    .integrity()
+                    .inc_checksum_fail_checkpoint();
+                report.integrity_violations += 1;
+                Ok((engine, report))
+            }
+        }
+    }
+
+    /// The chaos drill: capture both copies of the durable state (backup
+    /// before durable, so the corruption draw sequence matches a single
+    /// capture), optionally kill `node` first, recover through the
+    /// verified path, and account any quarantined shards the rebuild
+    /// cleared. The recovered engine starts with no quarantine: recovery
+    /// replays the pristine *logged* batches — corruption happened on the
+    /// wire after logging — so the rebuilt shards are whole.
+    pub fn drill_verified(
+        &self,
+        engine: &WukongS,
+        node: Option<NodeId>,
+    ) -> Result<(WukongS, RecoveryReport), CheckpointError> {
+        let quarantined = engine.quarantined_nodes();
+        if let Some(n) = node {
+            engine.cluster().fabric().kill_node(n);
+        }
+        let backup = self.backup_state(engine);
+        let durable = self.durable_state(engine);
+        let t0 = std::time::Instant::now();
+        let (recovered, mut report) = self.recover_verified(&durable, &backup)?;
+        report.quarantined_shards = quarantined.len() as u64;
+        if !quarantined.is_empty() {
+            let integrity = recovered.cluster().obs().integrity();
+            integrity.inc_rebuild();
+            integrity.add_rebuild_ns(t0.elapsed().as_nanos() as u64);
+        }
+        Ok((recovered, report))
     }
 }

@@ -1,0 +1,102 @@
+//! The invariant scrubber (DESIGN.md §13).
+//!
+//! Checksums catch corruption of data *in flight*; the scrubber catches
+//! corruption of derived engine state by re-checking, between firings,
+//! invariants the design argues hold by construction:
+//!
+//! * **VTS monotonicity** — no local VTS entry regresses between scrub
+//!   passes, and the stable VTS never runs ahead of the element-wise
+//!   minimum of the live nodes' local VTS (the SN-VTS definition, §4.3).
+//! * **Conservation ledger** — every tuple that entered the pipeline is
+//!   installed, still pending, or accounted shed by the PR 5 shedder:
+//!   `ingested = installed + pending + shed`.
+//! * **Death-timestamp bound** — every row a maintained query's
+//!   `DeltaState` retains must die strictly after the last fired window
+//!   (the PR 4 retraction invariant `death > hi`).
+//!
+//! A clean engine reports no violations under any fault schedule — the
+//! chaos gate — so any hit is a real state-integrity bug, not noise.
+
+use wukong_rdf::Timestamp;
+
+/// One violated invariant found by [`crate::WukongS::scrub`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrubViolation {
+    /// A node's local VTS entry moved backwards between scrub passes.
+    VtsRegression {
+        /// The regressing node.
+        node: u16,
+        /// The stream whose entry regressed.
+        stream: u16,
+        /// The entry at the previous scrub.
+        was: Timestamp,
+        /// The entry now.
+        now: Timestamp,
+    },
+    /// The stable VTS ran ahead of the minimum live local VTS entry.
+    StableAhead {
+        /// The affected stream.
+        stream: u16,
+        /// The stable VTS entry.
+        stable: Timestamp,
+        /// The minimum over live nodes' local entries.
+        min_local: Timestamp,
+    },
+    /// The conservation ledger does not balance.
+    ConservationMismatch {
+        /// Tuples that entered the pipeline.
+        ingested: u64,
+        /// Tuples handed to per-node install.
+        installed: u64,
+        /// Tuples still waiting in pending queues.
+        pending: u64,
+        /// Tuples accounted for by the shedder.
+        shed: u64,
+    },
+    /// A maintained query retains a row that should have been retracted.
+    DeathBound {
+        /// The offending query's registered name.
+        query: String,
+        /// The row's death timestamp.
+        death: Timestamp,
+        /// The latest fired window end it should have outlived.
+        hi: Timestamp,
+    },
+}
+
+impl std::fmt::Display for ScrubViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrubViolation::VtsRegression {
+                node,
+                stream,
+                was,
+                now,
+            } => write!(
+                f,
+                "local VTS regressed on node {node} stream {stream}: {was} -> {now}"
+            ),
+            ScrubViolation::StableAhead {
+                stream,
+                stable,
+                min_local,
+            } => write!(
+                f,
+                "stable VTS {stable} ahead of min local {min_local} on stream {stream}"
+            ),
+            ScrubViolation::ConservationMismatch {
+                ingested,
+                installed,
+                pending,
+                shed,
+            } => write!(
+                f,
+                "ledger: ingested {ingested} != installed {installed} + pending {pending} + shed {shed}"
+            ),
+            ScrubViolation::DeathBound { query, death, hi } => write!(
+                f,
+                "query {query} retains row dying at {death} <= fired hi {hi}"
+            ),
+        }
+    }
+}

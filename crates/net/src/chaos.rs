@@ -1,0 +1,465 @@
+//! Seeded composed-fault chaos schedules.
+//!
+//! A [`ChaosSchedule`] composes every fault dimension the fabric and
+//! engine understand — kills/restarts, lossy/dup links, delayed links,
+//! slow-node (gray failure) multipliers, overload spikes (bounded
+//! ingest), clock anomalies, and bit-flip corruption of in-flight
+//! messages and checkpoints — into one randomized, reproducible
+//! schedule on the simulated clock. `exp_chaos` crosses generated
+//! schedules with the engine's feature matrix and gates convergence
+//! against fault-free controls; on failure, [`shrink_schedule`] reduces
+//! the event list to a minimal reproducer by greedy event removal (the
+//! `tests/differential.rs` minimal-prefix shrinker pattern, applied to
+//! an event set instead of an input prefix).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fabric::NodeId;
+use crate::fault::FaultPlan;
+
+/// One composed fault dimension, placed on the simulated clock.
+/// Probabilities are stored per-mille so events stay `Eq`/hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Node `node` dies at `at_ms`.
+    Kill {
+        /// The victim node (never the entry node 0).
+        node: u16,
+        /// Simulated time of death.
+        at_ms: u64,
+    },
+    /// Node `node` comes back (empty, pre-recovery) at `at_ms`.
+    Restart {
+        /// The restarted node.
+        node: u16,
+        /// Simulated time of the restart.
+        at_ms: u64,
+    },
+    /// Every link drops/duplicates messages inside the window.
+    LossyLinks {
+        /// Drop probability, per mille.
+        drop_pm: u32,
+        /// Duplicate probability, per mille.
+        dup_pm: u32,
+        /// Window start (simulated ms, inclusive).
+        from_ms: u64,
+        /// Window end (simulated ms, exclusive).
+        until_ms: u64,
+    },
+    /// Every link delays messages inside the window.
+    DelayedLinks {
+        /// Delay probability, per mille.
+        delay_pm: u32,
+        /// Extra charged nanoseconds per delayed message.
+        delay_ns: u64,
+        /// Window start (simulated ms, inclusive).
+        from_ms: u64,
+        /// Window end (simulated ms, exclusive).
+        until_ms: u64,
+    },
+    /// Node `node` runs slow (gray failure) inside the window.
+    SlowNode {
+        /// The slowed node.
+        node: u16,
+        /// Slowdown multiplier ×100.
+        factor_x100: u64,
+        /// Window start (simulated ms, inclusive).
+        from_ms: u64,
+        /// Window end (simulated ms, exclusive).
+        until_ms: u64,
+    },
+    /// The engine runs under a bounded ingest budget (tuples per batch),
+    /// so bursts trip the PR 5 shed/catch-up state machine.
+    OverloadSpike {
+        /// `IngestBudget::tuples` value for the run.
+        budget_tuples: usize,
+    },
+    /// One tuple arrives stamped far in the future (bad source clock),
+    /// exercising the adaptor's gap-coalescing heartbeat path. Applied
+    /// as a workload mutation — the fault-free control sees it too.
+    ClockAnomaly,
+    /// In-flight sub-batch payloads get one bit flipped.
+    CorruptMessages {
+        /// Corruption probability, per mille.
+        pm: u32,
+    },
+    /// Captured checkpoint images get one bit flipped.
+    CorruptCheckpoints {
+        /// Corruption probability, per mille.
+        pm: u32,
+    },
+}
+
+/// A seeded, reproducible composition of fault dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Seed the schedule was generated from; also seeds the compiled
+    /// [`FaultPlan`]'s RNGs.
+    pub seed: u64,
+    /// Cluster size the schedule targets.
+    pub nodes: u16,
+    /// Simulated-time horizon the events were placed within.
+    pub horizon_ms: u64,
+    /// The composed events.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosSchedule {
+    /// Generates a composed schedule for a `nodes`-node cluster over
+    /// `horizon_ms` of simulated time. Each dimension is included with
+    /// an independent probability; an empty draw falls back to a single
+    /// mid-run kill so every schedule injects at least one fault.
+    /// Deterministic per seed.
+    pub fn generate(seed: u64, nodes: u16, horizon_ms: u64) -> Self {
+        assert!(nodes >= 2, "chaos needs a remote node to fault");
+        let h = horizon_ms.max(10);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut events = Vec::new();
+
+        let window = |rng: &mut StdRng| {
+            let from = rng.gen_range(h / 5..h / 2);
+            let until = from + rng.gen_range(h / 5..h / 2);
+            (from, until)
+        };
+
+        if rng.gen_bool(0.5) {
+            let node = rng.gen_range(1..nodes);
+            let at_ms = rng.gen_range(h / 3..2 * h / 3);
+            events.push(ChaosEvent::Kill { node, at_ms });
+            if rng.gen_bool(0.5) {
+                let back = at_ms + rng.gen_range(h / 6..h / 3);
+                events.push(ChaosEvent::Restart { node, at_ms: back });
+            }
+        }
+        if rng.gen_bool(0.45) {
+            let (from_ms, until_ms) = window(&mut rng);
+            events.push(ChaosEvent::LossyLinks {
+                drop_pm: rng.gen_range(30..250u32),
+                dup_pm: rng.gen_range(0..200u32),
+                from_ms,
+                until_ms,
+            });
+        }
+        if rng.gen_bool(0.35) {
+            let (from_ms, until_ms) = window(&mut rng);
+            events.push(ChaosEvent::DelayedLinks {
+                delay_pm: rng.gen_range(100..400u32),
+                delay_ns: rng.gen_range(50_000..500_000u64),
+                from_ms,
+                until_ms,
+            });
+        }
+        if rng.gen_bool(0.35) {
+            let (from_ms, until_ms) = window(&mut rng);
+            events.push(ChaosEvent::SlowNode {
+                node: rng.gen_range(0..nodes),
+                factor_x100: rng.gen_range(150..400u64),
+                from_ms,
+                until_ms,
+            });
+        }
+        if rng.gen_bool(0.4) {
+            events.push(ChaosEvent::OverloadSpike {
+                budget_tuples: rng.gen_range(8..48usize),
+            });
+        }
+        if rng.gen_bool(0.3) {
+            events.push(ChaosEvent::ClockAnomaly);
+        }
+        if rng.gen_bool(0.35) {
+            events.push(ChaosEvent::CorruptMessages {
+                pm: rng.gen_range(3..25u32),
+            });
+        }
+        if rng.gen_bool(0.3) {
+            events.push(ChaosEvent::CorruptCheckpoints {
+                pm: rng.gen_range(400..1_000u32),
+            });
+        }
+
+        if events.is_empty() {
+            events.push(ChaosEvent::Kill {
+                node: 1 + (seed % (nodes as u64 - 1).max(1)) as u16,
+                at_ms: h / 2,
+            });
+        }
+
+        ChaosSchedule {
+            seed,
+            nodes,
+            horizon_ms: h,
+            events,
+        }
+    }
+
+    /// Compiles the fabric-visible dimensions into a [`FaultPlan`]
+    /// seeded with the schedule's seed. `OverloadSpike` and
+    /// `ClockAnomaly` are engine/workload knobs — read them via
+    /// [`ChaosSchedule::ingest_budget`] / [`ChaosSchedule::clock_anomaly`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(self.seed);
+        for e in &self.events {
+            plan = match *e {
+                ChaosEvent::Kill { node, at_ms } => plan.kill_at(NodeId(node), at_ms),
+                ChaosEvent::Restart { node, at_ms } => plan.restart_at(NodeId(node), at_ms),
+                ChaosEvent::LossyLinks {
+                    drop_pm,
+                    dup_pm,
+                    from_ms,
+                    until_ms,
+                } => plan.lossy_during(
+                    drop_pm as f64 / 1_000.0,
+                    dup_pm as f64 / 1_000.0,
+                    from_ms,
+                    until_ms,
+                ),
+                ChaosEvent::DelayedLinks {
+                    delay_pm,
+                    delay_ns,
+                    from_ms,
+                    until_ms,
+                } => plan.delayed_during(delay_pm as f64 / 1_000.0, delay_ns, from_ms, until_ms),
+                ChaosEvent::SlowNode {
+                    node,
+                    factor_x100,
+                    from_ms,
+                    until_ms,
+                } => plan.slow_node_during(NodeId(node), factor_x100, from_ms, until_ms),
+                ChaosEvent::CorruptMessages { pm } => plan.corrupt_messages(pm as f64 / 1_000.0),
+                ChaosEvent::CorruptCheckpoints { pm } => {
+                    plan.corrupt_checkpoints(pm as f64 / 1_000.0)
+                }
+                ChaosEvent::OverloadSpike { .. } | ChaosEvent::ClockAnomaly => plan,
+            };
+        }
+        plan
+    }
+
+    /// The ingest budget (tuples) if the schedule includes an overload
+    /// spike.
+    pub fn ingest_budget(&self) -> Option<usize> {
+        self.events.iter().find_map(|e| match e {
+            ChaosEvent::OverloadSpike { budget_tuples } => Some(*budget_tuples),
+            _ => None,
+        })
+    }
+
+    /// Whether the schedule includes a far-future clock anomaly.
+    pub fn clock_anomaly(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, ChaosEvent::ClockAnomaly))
+    }
+
+    /// Whether the schedule injects any bit-flip corruption.
+    pub fn corrupts(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                ChaosEvent::CorruptMessages { .. } | ChaosEvent::CorruptCheckpoints { .. }
+            )
+        })
+    }
+
+    /// The schedule with event `i` removed — the shrinker's step. A
+    /// removed `Kill` also removes its `Restart` (a restart without a
+    /// kill is a no-op that would survive shrinking as noise).
+    pub fn without(&self, i: usize) -> ChaosSchedule {
+        let mut events = self.events.clone();
+        let removed = events.remove(i);
+        if let ChaosEvent::Kill { node, .. } = removed {
+            events.retain(|e| !matches!(e, ChaosEvent::Restart { node: n, .. } if *n == node));
+        }
+        ChaosSchedule {
+            events,
+            ..self.clone()
+        }
+    }
+
+    /// One line per event, for failure reports.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "seed={} nodes={} horizon={}ms, {} event(s):\n",
+            self.seed,
+            self.nodes,
+            self.horizon_ms,
+            self.events.len()
+        );
+        for e in &self.events {
+            s.push_str(&format!("  - {e:?}\n"));
+        }
+        s
+    }
+}
+
+/// Greedily shrinks a failing schedule to a minimal reproducer:
+/// repeatedly drop any single event whose removal preserves the failure
+/// (`fails` returns `true`), until every remaining event is necessary.
+/// The result is 1-minimal — removing any one event makes the failure
+/// disappear — though not necessarily globally minimal.
+pub fn shrink_schedule(
+    mut schedule: ChaosSchedule,
+    mut fails: impl FnMut(&ChaosSchedule) -> bool,
+) -> ChaosSchedule {
+    loop {
+        let mut reduced = false;
+        for i in 0..schedule.events.len() {
+            let candidate = schedule.without(i);
+            if candidate.events.len() < schedule.events.len() && fails(&candidate) {
+                schedule = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return schedule;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ChaosSchedule::generate(42, 4, 4_000);
+        let b = ChaosSchedule::generate(42, 4, 4_000);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty());
+        let c = ChaosSchedule::generate(43, 4, 4_000);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn every_dimension_appears_across_seeds() {
+        let mut seen = [false; 9];
+        for seed in 0..64 {
+            for e in &ChaosSchedule::generate(seed, 4, 4_000).events {
+                let i = match e {
+                    ChaosEvent::Kill { .. } => 0,
+                    ChaosEvent::Restart { .. } => 1,
+                    ChaosEvent::LossyLinks { .. } => 2,
+                    ChaosEvent::DelayedLinks { .. } => 3,
+                    ChaosEvent::SlowNode { .. } => 4,
+                    ChaosEvent::OverloadSpike { .. } => 5,
+                    ChaosEvent::ClockAnomaly => 6,
+                    ChaosEvent::CorruptMessages { .. } => 7,
+                    ChaosEvent::CorruptCheckpoints { .. } => 8,
+                };
+                seen[i] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "64 seeds must cover every dimension, saw {seen:?}"
+        );
+    }
+
+    #[test]
+    fn compiled_plan_mirrors_events() {
+        for seed in 0..32 {
+            let s = ChaosSchedule::generate(seed, 4, 4_000);
+            let plan = s.fault_plan();
+            assert_eq!(plan.seed, seed);
+            let kills = s
+                .events
+                .iter()
+                .filter(|e| matches!(e, ChaosEvent::Kill { .. }))
+                .count();
+            let restarts = s
+                .events
+                .iter()
+                .filter(|e| matches!(e, ChaosEvent::Restart { .. }))
+                .count();
+            assert_eq!(plan.schedule.len(), kills + restarts);
+            let links = s
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ChaosEvent::LossyLinks { .. } | ChaosEvent::DelayedLinks { .. }
+                    )
+                })
+                .count();
+            assert_eq!(plan.links.len(), links);
+            let corrupts = s
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        ChaosEvent::CorruptMessages { .. } | ChaosEvent::CorruptCheckpoints { .. }
+                    )
+                })
+                .count();
+            assert_eq!(plan.corrupt.len(), corrupts);
+            assert_eq!(s.corrupts(), corrupts > 0);
+        }
+    }
+
+    #[test]
+    fn shrinker_finds_minimal_event_set() {
+        // Failure requires a Kill AND CorruptMessages together; every
+        // other event is noise the shrinker must strip.
+        let mut s = ChaosSchedule::generate(0, 4, 4_000);
+        s.events = vec![
+            ChaosEvent::SlowNode {
+                node: 2,
+                factor_x100: 200,
+                from_ms: 100,
+                until_ms: 900,
+            },
+            ChaosEvent::Kill {
+                node: 1,
+                at_ms: 500,
+            },
+            ChaosEvent::Restart {
+                node: 1,
+                at_ms: 900,
+            },
+            ChaosEvent::ClockAnomaly,
+            ChaosEvent::CorruptMessages { pm: 10 },
+            ChaosEvent::OverloadSpike { budget_tuples: 16 },
+        ];
+        let fails = |c: &ChaosSchedule| {
+            c.events
+                .iter()
+                .any(|e| matches!(e, ChaosEvent::Kill { .. }))
+                && c.events
+                    .iter()
+                    .any(|e| matches!(e, ChaosEvent::CorruptMessages { .. }))
+        };
+        assert!(fails(&s));
+        let min = shrink_schedule(s, fails);
+        assert_eq!(
+            min.events,
+            vec![
+                ChaosEvent::Kill {
+                    node: 1,
+                    at_ms: 500
+                },
+                ChaosEvent::CorruptMessages { pm: 10 },
+            ]
+        );
+    }
+
+    #[test]
+    fn without_kill_drops_orphaned_restart() {
+        let mut s = ChaosSchedule::generate(0, 4, 4_000);
+        s.events = vec![
+            ChaosEvent::Kill {
+                node: 1,
+                at_ms: 500,
+            },
+            ChaosEvent::Restart {
+                node: 1,
+                at_ms: 900,
+            },
+        ];
+        assert!(s.without(0).events.is_empty());
+        assert_eq!(s.without(1).events.len(), 1);
+    }
+}

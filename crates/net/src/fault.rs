@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use wukong_obs::FaultCounters;
 
 use crate::fabric::NodeId;
@@ -80,6 +80,27 @@ pub struct SlowNode {
     pub until_ms: u64,
 }
 
+/// What a corruption rule targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptTarget {
+    /// In-flight sub-batch payloads between dispatch and store install.
+    Message,
+    /// Checkpoint images on the durable medium (bit rot at capture).
+    Checkpoint,
+}
+
+/// One corruption rule: with probability `p`, flip a single bit in the
+/// targeted artifact. Corruption draws come from a *separate* seeded RNG
+/// (the plan seed salted), so adding a corruption rule never perturbs
+/// the lossy-link draw sequence of an existing plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptFault {
+    /// The artifact class this rule corrupts.
+    pub target: CorruptTarget,
+    /// Probability each candidate artifact has one bit flipped.
+    pub p: f64,
+}
+
 /// One entry of the kill/restart schedule, in simulated milliseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledEvent {
@@ -102,6 +123,8 @@ pub struct FaultPlan {
     pub schedule: Vec<ScheduledEvent>,
     /// Gray-failure slowdown rules (clock-driven, no RNG).
     pub slow_nodes: Vec<SlowNode>,
+    /// Bit-flip corruption rules (dedicated salted RNG).
+    pub corrupt: Vec<CorruptFault>,
 }
 
 impl FaultPlan {
@@ -150,6 +173,18 @@ impl FaultPlan {
         self.links.push(LinkFault {
             drop_p,
             dup_p,
+            ..LinkFault::default()
+        });
+        self
+    }
+
+    /// Makes every link drop and duplicate messages, but only while the
+    /// simulated clock is inside `[from_ms, until_ms)`.
+    pub fn lossy_during(mut self, drop_p: f64, dup_p: f64, from_ms: u64, until_ms: u64) -> Self {
+        self.links.push(LinkFault {
+            drop_p,
+            dup_p,
+            window: Some((from_ms, until_ms)),
             ..LinkFault::default()
         });
         self
@@ -207,6 +242,26 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Flips one bit in each in-flight sub-batch payload with
+    /// probability `p`.
+    pub fn corrupt_messages(mut self, p: f64) -> Self {
+        self.corrupt.push(CorruptFault {
+            target: CorruptTarget::Message,
+            p,
+        });
+        self
+    }
+
+    /// Flips one bit in each captured checkpoint image with
+    /// probability `p`.
+    pub fn corrupt_checkpoints(mut self, p: f64) -> Self {
+        self.corrupt.push(CorruptFault {
+            target: CorruptTarget::Checkpoint,
+            p,
+        });
+        self
+    }
 }
 
 /// One injected fault, recorded in occurrence order. Same-seed runs with
@@ -258,6 +313,18 @@ pub enum FaultEvent {
         /// Dead target.
         to: NodeId,
     },
+    /// A bit was flipped in an in-flight message payload.
+    CorruptedMsg {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// A bit was flipped in a captured checkpoint image.
+    CorruptedCheckpoint {
+        /// Simulated time of the capture.
+        at_ms: u64,
+    },
 }
 
 /// The delivery verdict for one message: how many copies arrive (0 =
@@ -277,11 +344,17 @@ impl Delivery {
     };
 }
 
+/// Salt for the corruption RNG: corruption draws must not perturb the
+/// link-fault draw sequence of a pre-existing plan with the same seed.
+const CORRUPT_SEED_SALT: u64 = 0x0B17_F11B_50DD_C0DE_u64;
+
 /// Runtime state of an installed [`FaultPlan`]: node liveness, the
-/// seeded RNG, the schedule cursor, and the event log.
+/// seeded RNGs (link faults and corruption draw independently), the
+/// schedule cursor, and the event log.
 pub struct FaultState {
     plan: FaultPlan,
     rng: Mutex<StdRng>,
+    crng: Mutex<StdRng>,
     up: Vec<AtomicBool>,
     clock_ms: AtomicU64,
     cursor: Mutex<usize>,
@@ -296,8 +369,10 @@ impl FaultState {
     pub fn new(mut plan: FaultPlan, nodes: usize, counters: Arc<FaultCounters>) -> Self {
         plan.schedule.sort_by_key(|e| e.at_ms);
         let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
+        let crng = Mutex::new(StdRng::seed_from_u64(plan.seed ^ CORRUPT_SEED_SALT));
         FaultState {
             rng,
+            crng,
             up: (0..nodes).map(|_| AtomicBool::new(true)).collect(),
             clock_ms: AtomicU64::new(0),
             cursor: Mutex::new(0),
@@ -448,6 +523,48 @@ impl FaultState {
         ns.saturating_mul(factor) / 100
     }
 
+    /// Draws the corruption verdict for one in-flight message `from →
+    /// to`: `Some(bits)` means the carrier should flip one bit chosen
+    /// from the 64 random `bits`. A plan without a message-corruption
+    /// rule (or with `p == 0`) consumes no draw.
+    pub fn corrupt_message(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        let rule = self
+            .plan
+            .corrupt
+            .iter()
+            .find(|c| c.target == CorruptTarget::Message && c.p > 0.0)?;
+        let mut rng = self.crng.lock();
+        if !rng.gen_bool(rule.p) {
+            return None;
+        }
+        let bits = rng.next_u64();
+        drop(rng);
+        self.counters.inc_corrupt_msg();
+        self.log.lock().push(FaultEvent::CorruptedMsg { from, to });
+        Some(bits)
+    }
+
+    /// Draws the corruption verdict for one captured checkpoint image:
+    /// `Some(bits)` means the durable copy should have one bit flipped.
+    pub fn corrupt_checkpoint(&self) -> Option<u64> {
+        let rule = self
+            .plan
+            .corrupt
+            .iter()
+            .find(|c| c.target == CorruptTarget::Checkpoint && c.p > 0.0)?;
+        let mut rng = self.crng.lock();
+        if !rng.gen_bool(rule.p) {
+            return None;
+        }
+        let bits = rng.next_u64();
+        drop(rng);
+        self.counters.inc_corrupt_checkpoint();
+        self.log.lock().push(FaultEvent::CorruptedCheckpoint {
+            at_ms: self.clock_ms.load(Ordering::Relaxed),
+        });
+        Some(bits)
+    }
+
     /// Records a message lost on `from → to`.
     pub fn record_drop(&self, from: NodeId, to: NodeId) {
         self.counters.inc_dropped();
@@ -547,6 +664,62 @@ mod tests {
                     at_ms: 1_000
                 },
             ]
+        );
+    }
+
+    #[test]
+    fn corruption_draws_are_deterministic_and_isolated() {
+        // Same seed, same plan → identical corruption verdicts.
+        let plan = FaultPlan::seeded(11).corrupt_messages(0.5);
+        let a = state(plan.clone());
+        let b = state(plan);
+        let va: Vec<_> = (0..100)
+            .map(|_| a.corrupt_message(NodeId(0), NodeId(1)))
+            .collect();
+        let vb: Vec<_> = (0..100)
+            .map(|_| b.corrupt_message(NodeId(0), NodeId(1)))
+            .collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().any(Option::is_some));
+        assert!(va.iter().any(Option::is_none));
+        assert_eq!(
+            a.counters().snapshot().msgs_corrupted,
+            va.iter().filter(|v| v.is_some()).count() as u64
+        );
+
+        // Adding a corruption rule must not perturb the link-fault draw
+        // sequence: interleaved corruption draws leave link verdicts
+        // identical to a plan without the rule.
+        let base = FaultPlan::seeded(7).lossy(0.3, 0.3);
+        let plain = state(base.clone());
+        let mixed = state(base.corrupt_messages(0.5));
+        let dp: Vec<Delivery> = (0..100)
+            .map(|_| plain.decide(NodeId(0), NodeId(1)))
+            .collect();
+        let dm: Vec<Delivery> = (0..100)
+            .map(|_| {
+                mixed.corrupt_message(NodeId(0), NodeId(1));
+                mixed.decide(NodeId(0), NodeId(1))
+            })
+            .collect();
+        assert_eq!(dp, dm);
+
+        // A plan without corruption rules never draws or logs.
+        let none = state(FaultPlan::seeded(11));
+        assert_eq!(none.corrupt_message(NodeId(0), NodeId(1)), None);
+        assert_eq!(none.corrupt_checkpoint(), None);
+        assert!(none.log().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_corruption_counts_and_logs() {
+        let s = state(FaultPlan::seeded(5).corrupt_checkpoints(1.0));
+        s.advance_clock(250);
+        assert!(s.corrupt_checkpoint().is_some());
+        assert_eq!(s.counters().snapshot().checkpoints_corrupted, 1);
+        assert_eq!(
+            s.log(),
+            vec![FaultEvent::CorruptedCheckpoint { at_ms: 250 }]
         );
     }
 

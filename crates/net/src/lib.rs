@@ -28,6 +28,7 @@
 //! dead nodes — deterministically per seed, so failure drills are
 //! reproducible.
 
+pub mod chaos;
 pub mod clock;
 pub mod fabric;
 pub mod fault;
@@ -36,9 +37,13 @@ pub mod metrics;
 pub mod pool;
 pub mod profile;
 
+pub use chaos::{shrink_schedule, ChaosEvent, ChaosSchedule};
 pub use clock::TaskTimer;
 pub use fabric::{Endpoint, Fabric, NodeDown, NodeId};
-pub use fault::{Delivery, FaultEvent, FaultPlan, FaultState, LinkFault, ScheduledEvent};
+pub use fault::{
+    CorruptFault, CorruptTarget, Delivery, FaultEvent, FaultPlan, FaultState, LinkFault,
+    ScheduledEvent,
+};
 pub use message::Envelope;
 pub use metrics::{FabricMetrics, MetricsSnapshot};
 pub use pool::WorkerPool;

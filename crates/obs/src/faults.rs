@@ -25,6 +25,8 @@ pub struct FaultCounters {
     node_kills: AtomicU64,
     node_restarts: AtomicU64,
     ops_slowed: AtomicU64,
+    msgs_corrupted: AtomicU64,
+    checkpoints_corrupted: AtomicU64,
 }
 
 macro_rules! bump {
@@ -68,6 +70,10 @@ impl FaultCounters {
         inc_restart => node_restarts,
         /// A fabric operation was charged extra by a slow-node rule.
         inc_slowed => ops_slowed,
+        /// A bit was flipped in an in-flight message payload.
+        inc_corrupt_msg => msgs_corrupted,
+        /// A bit was flipped in a captured checkpoint image.
+        inc_corrupt_checkpoint => checkpoints_corrupted,
     }
 
     /// Adds `n` suppressed duplicates at once.
@@ -97,6 +103,8 @@ impl FaultCounters {
             node_kills: self.node_kills.load(Ordering::Relaxed),
             node_restarts: self.node_restarts.load(Ordering::Relaxed),
             ops_slowed: self.ops_slowed.load(Ordering::Relaxed),
+            msgs_corrupted: self.msgs_corrupted.load(Ordering::Relaxed),
+            checkpoints_corrupted: self.checkpoints_corrupted.load(Ordering::Relaxed),
         }
     }
 }
@@ -132,6 +140,10 @@ pub struct FaultSnapshot {
     pub node_restarts: u64,
     /// Fabric operations charged extra by slow-node (gray failure) rules.
     pub ops_slowed: u64,
+    /// In-flight message payloads that had a bit flipped.
+    pub msgs_corrupted: u64,
+    /// Captured checkpoint images that had a bit flipped.
+    pub checkpoints_corrupted: u64,
 }
 
 impl FaultSnapshot {
@@ -152,11 +164,13 @@ impl FaultSnapshot {
             node_kills: later.node_kills - self.node_kills,
             node_restarts: later.node_restarts - self.node_restarts,
             ops_slowed: later.ops_slowed - self.ops_slowed,
+            msgs_corrupted: later.msgs_corrupted - self.msgs_corrupted,
+            checkpoints_corrupted: later.checkpoints_corrupted - self.checkpoints_corrupted,
         }
     }
 
     /// `(name, value)` pairs in display order, for report writers.
-    pub fn entries(&self) -> [(&'static str, u64); 14] {
+    pub fn entries(&self) -> [(&'static str, u64); 16] {
         [
             ("msgs_dropped", self.msgs_dropped),
             ("msgs_duplicated", self.msgs_duplicated),
@@ -172,6 +186,8 @@ impl FaultSnapshot {
             ("node_kills", self.node_kills),
             ("node_restarts", self.node_restarts),
             ("ops_slowed", self.ops_slowed),
+            ("msgs_corrupted", self.msgs_corrupted),
+            ("checkpoints_corrupted", self.checkpoints_corrupted),
         ]
     }
 }
@@ -214,10 +230,12 @@ mod tests {
         c.inc_replayed_batch();
         c.inc_dedup_suppressed();
         c.inc_slowed();
+        c.inc_corrupt_msg();
+        c.inc_corrupt_checkpoint();
         let s = c.snapshot();
         let names: std::collections::HashSet<_> = s.entries().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 16);
         let lit: u64 = s.entries().iter().map(|(_, v)| v).sum();
-        assert_eq!(lit, 11);
+        assert_eq!(lit, 13);
     }
 }

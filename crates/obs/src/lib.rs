@@ -24,6 +24,7 @@
 pub mod faults;
 pub mod histogram;
 pub mod incremental;
+pub mod integrity;
 pub mod json;
 pub mod overload;
 pub mod plan;
@@ -34,6 +35,7 @@ pub mod stage;
 pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use incremental::{IncrementalCounters, IncrementalSnapshot};
+pub use integrity::{IntegrityCounters, IntegritySnapshot};
 pub use json::Json;
 pub use overload::{OverloadCounters, OverloadSnapshot};
 pub use plan::{PlanCounters, PlanSnapshot};

@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 use crate::faults::FaultCounters;
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::incremental::IncrementalCounters;
+use crate::integrity::IntegrityCounters;
 use crate::overload::OverloadCounters;
 use crate::plan::PlanCounters;
 use crate::pool::PoolCounters;
@@ -41,6 +42,7 @@ pub struct Registry {
     incremental: Arc<IncrementalCounters>,
     overload: Arc<OverloadCounters>,
     plan: Arc<PlanCounters>,
+    integrity: Arc<IntegrityCounters>,
 }
 
 fn series_for(
@@ -139,6 +141,13 @@ impl Registry {
     /// drift detector, and cost-model mode selection record here.
     pub fn plan(&self) -> &Arc<PlanCounters> {
         &self.plan
+    }
+
+    /// The shared state-integrity counters; the checksum-verification
+    /// sites, the invariant scrubber, and the quarantine-rebuild path
+    /// record here.
+    pub fn integrity(&self) -> &Arc<IntegrityCounters> {
+        &self.integrity
     }
 
     /// Point-in-time copy of every keyed series.

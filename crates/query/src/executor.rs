@@ -37,6 +37,13 @@ pub struct ResultSet {
     /// retry budget — their rows are missing (graceful degradation under
     /// injected faults). Empty for complete answers.
     pub unreachable_shards: Vec<u16>,
+    /// Nodes that were in the Quarantined state (a detected-corruption
+    /// containment, DESIGN.md §13) while this result was produced. Their
+    /// contributions are frozen at the pre-quarantine stable VTS until a
+    /// rebuild-from-checkpoint restores them; like `unreachable_shards`,
+    /// a non-empty list marks the answer as explicitly degraded rather
+    /// than silently wrong.
+    pub quarantined_shards: Vec<u16>,
     /// Exact staleness accounting when load shedding touched a window
     /// this execution consumed: `None` means the answer is complete with
     /// respect to everything ingested. Attached by the engine's overload
@@ -54,6 +61,13 @@ pub struct Degraded {
     pub tuples_shed: u64,
     /// How many of the consumed window instances lost at least one tuple.
     pub windows_affected: u32,
+    /// How many of the consumed window instances reached below a
+    /// transient store's eviction watermark: the window fired so far
+    /// behind stream time (an outage, a recovery replay, a clock jump)
+    /// that data it would have read already aged out of the bounded
+    /// ring. The answer is complete w.r.t. what is *retained*, and this
+    /// marker says retention no longer covers the window.
+    pub windows_aged: u32,
 }
 
 impl ResultSet {
@@ -68,6 +82,7 @@ impl ResultSet {
             aggregates: Vec::new(),
             group_aggregates: Vec::new(),
             unreachable_shards: Vec::new(),
+            quarantined_shards: Vec::new(),
             degraded: None,
         }
     }
@@ -338,6 +353,7 @@ pub fn finalize(
             aggregates: Vec::new(),
             group_aggregates,
             unreachable_shards: Vec::new(),
+            quarantined_shards: Vec::new(),
             degraded: None,
         };
     }
@@ -390,6 +406,7 @@ pub fn finalize(
         aggregates,
         group_aggregates: Vec::new(),
         unreachable_shards: Vec::new(),
+        quarantined_shards: Vec::new(),
         degraded: None,
     }
 }

@@ -99,6 +99,11 @@ pub struct TransientStore {
     budget_bytes: usize,
     used_bytes: usize,
     evicted_slices: u64,
+    /// Highest timestamp of any evicted slice — the watermark below
+    /// which window reads may be incomplete. A window `(lo, hi]` fired
+    /// with `lo < evicted_upto` must carry a degraded marker: the data
+    /// it would have read aged out (GC) or was squeezed out (budget).
+    evicted_upto: Timestamp,
 }
 
 impl TransientStore {
@@ -109,6 +114,7 @@ impl TransientStore {
             budget_bytes,
             used_bytes: 0,
             evicted_slices: 0,
+            evicted_upto: 0,
         }
     }
 
@@ -171,6 +177,7 @@ impl TransientStore {
         if let Some(s) = self.slices.pop_front() {
             self.used_bytes -= s.heap_bytes();
             self.evicted_slices += 1;
+            self.evicted_upto = self.evicted_upto.max(s.timestamp);
         }
     }
 
@@ -206,6 +213,12 @@ impl TransientStore {
     /// Slices evicted so far (by budget or GC).
     pub fn evicted_slices(&self) -> u64 {
         self.evicted_slices
+    }
+
+    /// Highest timestamp ever evicted (0 when nothing was): the aging
+    /// watermark a firing compares its window's `lo` against.
+    pub fn evicted_upto(&self) -> Timestamp {
+        self.evicted_upto
     }
 
     /// Current heap usage in bytes.

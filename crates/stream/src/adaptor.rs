@@ -38,6 +38,28 @@ impl StreamSchema {
     }
 }
 
+/// FNV-1a over a tuple slice's logical 33-byte encoding (s, p, o,
+/// timestamp, kind). Any single-bit difference between two equal-length
+/// payloads changes the hash — each step is xor-then-multiply-by-odd,
+/// both bijections on `u64` — so a flipped bit anywhere between sealing
+/// and install is always detected (DESIGN.md §13).
+pub fn payload_checksum(tuples: &[StreamTuple]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut byte = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    };
+    for t in tuples {
+        for word in [t.triple.s.0, t.triple.p.0, t.triple.o.0, t.timestamp] {
+            for b in word.to_le_bytes() {
+                byte(b);
+            }
+        }
+        byte(if t.is_timeless() { 0 } else { 1 });
+    }
+    h
+}
+
 /// One mini-batch of classified tuples.
 #[derive(Debug, Clone)]
 pub struct Batch {
@@ -50,9 +72,39 @@ pub struct Batch {
     pub tuples: Vec<StreamTuple>,
     /// Tuples dropped as irrelevant (accounting).
     pub discarded: usize,
+    /// [`payload_checksum`] of `tuples`, set when the batch is sealed
+    /// and re-verified at the engine boundary before any install.
+    pub checksum: u64,
 }
 
 impl Batch {
+    /// Builds a batch with its payload checksum sealed in.
+    pub fn sealed(
+        stream: StreamId,
+        timestamp: Timestamp,
+        tuples: Vec<StreamTuple>,
+        discarded: usize,
+    ) -> Batch {
+        let checksum = payload_checksum(&tuples);
+        Batch {
+            stream,
+            timestamp,
+            tuples,
+            discarded,
+            checksum,
+        }
+    }
+
+    /// Recomputes the checksum after a legitimate in-engine mutation of
+    /// `tuples` (load shedding).
+    pub fn reseal(&mut self) {
+        self.checksum = payload_checksum(&self.tuples);
+    }
+
+    /// Whether `tuples` still matches the sealed checksum.
+    pub fn verify(&self) -> bool {
+        self.checksum == payload_checksum(&self.tuples)
+    }
     /// The timeless tuples (for the persistent store).
     pub fn timeless(&self) -> impl Iterator<Item = &StreamTuple> {
         self.tuples.iter().filter(|t| t.is_timeless())
@@ -247,12 +299,12 @@ impl Adaptor {
     }
 
     fn seal(&mut self) -> Batch {
-        let b = Batch {
-            stream: self.schema.id,
-            timestamp: self.current_end,
-            tuples: std::mem::take(&mut self.current),
-            discarded: std::mem::take(&mut self.discarded),
-        };
+        let b = Batch::sealed(
+            self.schema.id,
+            self.current_end,
+            std::mem::take(&mut self.current),
+            std::mem::take(&mut self.discarded),
+        );
         self.current_end += self.schema.batch_interval_ms;
         b
     }

@@ -79,6 +79,13 @@ impl Coordinator {
         self.planner.snapshot_for(stream, ts)
     }
 
+    /// The snapshot assigned to `stream`'s epoch covering `ts`, across
+    /// the whole plan history — the snapshot a window ending at `ts`
+    /// executes at, no matter how long a fault delayed its firing.
+    pub fn snapshot_at(&self, stream: usize, ts: Timestamp) -> Option<SnapshotId> {
+        self.planner.snapshot_at(stream, ts)
+    }
+
     /// Reports that `node` finished inserting `stream`'s batch `ts`.
     pub fn on_batch_inserted(
         &mut self,

@@ -6,7 +6,7 @@
 //! (no index vertices). Both stores use the same sharding, co-locating a
 //! stream's timing and timeless data (§4.1).
 
-use crate::adaptor::Batch;
+use crate::adaptor::{payload_checksum, Batch};
 use wukong_rdf::StreamTuple;
 use wukong_store::ShardMap;
 
@@ -18,12 +18,20 @@ pub struct SubBatch {
     /// The tuples the node must apply (a tuple may appear in several
     /// nodes' sub-batches when its keys span nodes).
     pub tuples: Vec<StreamTuple>,
+    /// [`payload_checksum`] of `tuples`, computed at dispatch and
+    /// verified at store install — the message-site integrity check.
+    pub checksum: u64,
 }
 
 impl SubBatch {
     /// Wire size for dispatch cost accounting.
     pub fn wire_bytes(&self) -> usize {
         self.tuples.len() * std::mem::size_of::<StreamTuple>()
+    }
+
+    /// Whether `tuples` still matches the dispatch-time checksum.
+    pub fn verify(&self) -> bool {
+        self.checksum == payload_checksum(&self.tuples)
     }
 }
 
@@ -36,6 +44,7 @@ pub fn dispatch(batch: &Batch, shards: &ShardMap) -> Vec<SubBatch> {
         .map(|n| SubBatch {
             node: n,
             tuples: Vec::new(),
+            checksum: 0,
         })
         .collect();
     for tup in &batch.tuples {
@@ -47,6 +56,9 @@ pub fn dispatch(batch: &Batch, shards: &ShardMap) -> Vec<SubBatch> {
             subs[n as usize].tuples.push(*tup);
         }
     }
+    for sub in &mut subs {
+        sub.checksum = payload_checksum(&sub.tuples);
+    }
     subs
 }
 
@@ -56,12 +68,7 @@ mod tests {
     use wukong_rdf::{Pid, StreamId, Triple, Vid};
 
     fn batch(tuples: Vec<StreamTuple>) -> Batch {
-        Batch {
-            stream: StreamId(0),
-            timestamp: 100,
-            tuples,
-            discarded: 0,
-        }
+        Batch::sealed(StreamId(0), 100, tuples, 0)
     }
 
     #[test]
@@ -96,6 +103,24 @@ mod tests {
                 "node {owner} missing its tuple"
             );
         }
+    }
+
+    #[test]
+    fn subbatch_checksums_verify_and_detect_flips() {
+        let shards = ShardMap::new(4);
+        let b = batch(vec![
+            StreamTuple::timeless(Triple::new(Vid(1), Pid(2), Vid(3)), 50),
+            StreamTuple::timing(Triple::new(Vid(4), Pid(5), Vid(6)), 60),
+            StreamTuple::timeless(Triple::new(Vid(7), Pid(8), Vid(9)), 70),
+        ]);
+        assert!(b.verify());
+        let mut subs = dispatch(&b, &shards);
+        assert!(subs.iter().all(SubBatch::verify));
+        let sub = subs.iter_mut().find(|s| !s.tuples.is_empty()).unwrap();
+        sub.tuples[0].triple.o.0 ^= 1 << 17;
+        assert!(!sub.verify(), "single-bit flip must break the checksum");
+        sub.tuples[0].triple.o.0 ^= 1 << 17;
+        assert!(sub.verify());
     }
 
     #[test]

@@ -188,6 +188,7 @@ mod tests {
         let sub = SubBatch {
             node: 0,
             tuples: vec![timeless(1, 2, 3, 50), timing(4, 5, 6, 60)],
+            checksum: 0,
         };
         let (batch, stats) = Injector.apply(&shard, &mut store, &sub, 100, SnapshotId(1));
         assert_eq!(stats.timeless, 1);
@@ -214,6 +215,7 @@ mod tests {
             let sub = SubBatch {
                 node: 0,
                 tuples: vec![timeless(1, 2, o, ts - 10)],
+                checksum: 0,
             };
             Injector.apply(&shard, &mut store, &sub, ts, SnapshotId(1));
         }
@@ -235,6 +237,7 @@ mod tests {
         let sub = SubBatch {
             node: 0,
             tuples: vec![timeless(1, 2, 3, 90)],
+            checksum: 0,
         };
         let (batch, _) = Injector.apply(&shard, &mut src, &sub, 100, SnapshotId(1));
         Injector.apply_replica(&mut dst, batch);

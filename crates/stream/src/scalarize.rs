@@ -42,6 +42,13 @@ pub struct PlanEntry {
 pub struct SnVtsPlanner {
     /// Announced, not-yet-retired mappings, oldest first.
     announced: Vec<PlanEntry>,
+    /// Retired mappings, oldest first — the plan's history. Kept so a
+    /// window that fires *behind* the stable SN (an outage, a recovery
+    /// replay, a clock jump delayed it) can still be executed at the
+    /// snapshot its window end was assigned, making firing results a
+    /// pure function of the window rather than of firing time. One
+    /// small entry per epoch; bounded by run length.
+    retired: Vec<PlanEntry>,
     /// Batch interval per stream, in ms (targets advance by
     /// `staleness × interval`).
     intervals: Vec<u64>,
@@ -56,6 +63,7 @@ impl SnVtsPlanner {
     pub fn new(intervals: Vec<u64>, staleness: StalenessBound) -> Self {
         SnVtsPlanner {
             announced: Vec::new(),
+            retired: Vec::new(),
             intervals,
             staleness,
             stable_sn: SnapshotId::BASE,
@@ -156,20 +164,21 @@ impl SnVtsPlanner {
                 let reached = self.announced.remove(0);
                 self.stable_sn = reached.sn;
                 changed = Some(reached.sn);
-                // Base the next target on how far insertion actually got,
-                // not just the retired target: a stream that joined late
-                // (or burst ahead) would otherwise lag one batch per
-                // retirement forever.
-                let mut grown = stable.clone();
-                grown.grow(reached.target.len());
-                let base = Vts::from_entries(
-                    grown
-                        .entries()
-                        .iter()
-                        .zip(reached.target.entries())
-                        .map(|(&a, &b)| a.max(b))
-                        .collect(),
-                );
+                // Base the next target on the *retired target only* —
+                // never on how far the stable VTS overshot it. Targets
+                // then form a pure grid: a deterministic function of
+                // the retirement count, independent of batch arrival
+                // order. This is what makes snapshot assignment (and
+                // therefore every window's firing result) reproducible
+                // across fault schedules and recovery replays — a
+                // backlog drained stream-by-stream after an outage
+                // retires the exact same plan sequence the fault-free
+                // run did. A stream that bursts far ahead stalls its
+                // injection on the one in-flight mapping (Fig. 11's
+                // documented stall) while the cascade below catches the
+                // grid up one epoch per loop iteration.
+                let base = reached.target.clone();
+                self.retired.push(reached);
                 self.announce_next(&base);
             } else {
                 break;
@@ -180,8 +189,31 @@ impl SnVtsPlanner {
 
     /// The snapshot that consolidation may merge up to: everything older
     /// than the stable snapshot is no longer readable by new queries.
+    /// The engine additionally clamps this below every un-fired window's
+    /// assigned snapshot (see [`SnVtsPlanner::snapshot_at`]) so delayed
+    /// firings still read their exact historical snapshot.
     pub fn consolidation_horizon(&self) -> Option<SnapshotId> {
         (self.stable_sn.0 > 0).then(|| SnapshotId(self.stable_sn.0 - 1))
+    }
+
+    /// The snapshot assigned to `stream`'s batch at `ts`, across the
+    /// whole plan history (retired and announced alike): the smallest
+    /// epoch whose target covers the batch. This is the snapshot a
+    /// window ending at `ts` must execute at for its rows to be a pure
+    /// function of the window — available even when the firing runs
+    /// long after the epoch retired. `None` only for a timestamp beyond
+    /// every announced target (the window could not be ready yet).
+    pub fn snapshot_at(&self, stream: usize, ts: Timestamp) -> Option<SnapshotId> {
+        // Targets are monotone over the retired history (it grew one
+        // grid step per retirement), so the lookup binary-searches it.
+        let i = self.retired.partition_point(|e| e.target.get(stream) < ts);
+        if let Some(e) = self.retired.get(i) {
+            return Some(e.sn);
+        }
+        self.announced
+            .iter()
+            .find(|e| e.target.get(stream) >= ts)
+            .map(|e| e.sn)
     }
 }
 

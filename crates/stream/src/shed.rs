@@ -152,6 +152,7 @@ impl Shedder {
                         continue;
                     }
                     let dropped = std::mem::take(&mut batch.tuples);
+                    batch.reseal();
                     tuples -= dropped.len();
                     bytes -= dropped.len() * std::mem::size_of::<StreamTuple>();
                     drops.push((batch.stream, batch.timestamp, dropped));
@@ -193,6 +194,7 @@ impl Shedder {
                     tuples -= dropped.len();
                     bytes -= dropped.len() * std::mem::size_of::<StreamTuple>();
                     batch.tuples = kept;
+                    batch.reseal();
                     shed_total += self.record(stream, ts, dropped);
                     round += 1;
                 }
@@ -274,17 +276,32 @@ mod tests {
     use wukong_rdf::{Pid, Triple, TupleKind, Vid};
 
     fn batch(stream: u16, ts: Timestamp, n: usize) -> Batch {
-        Batch {
-            stream: StreamId(stream),
-            timestamp: ts,
-            tuples: (0..n)
+        Batch::sealed(
+            StreamId(stream),
+            ts,
+            (0..n)
                 .map(|i| StreamTuple {
                     triple: Triple::new(Vid(i as u64 + 1), Pid(4), Vid(ts)),
                     timestamp: ts,
                     kind: TupleKind::Timeless,
                 })
                 .collect(),
-            discarded: 0,
+            0,
+        )
+    }
+
+    #[test]
+    fn enforce_reseals_mutated_batches() {
+        for policy in [ShedPolicy::DropOldestWindow, ShedPolicy::SampleWithinBatch] {
+            let mut s = Shedder::new(policy, 42);
+            let mut q: VecDeque<Batch> = (1..=4).map(|i| batch(0, i * 100, 8)).collect();
+            assert!(s.enforce(&mut q, &IngestBudget::tuples(10)) > 0);
+            for b in &q {
+                assert!(
+                    b.verify(),
+                    "{policy:?} left a shed batch with a stale checksum"
+                );
+            }
         }
     }
 

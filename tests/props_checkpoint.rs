@@ -1,11 +1,45 @@
-//! Checkpoint wire-format robustness: decoding is *total*. Arbitrary
-//! bytes, truncations, and single-byte corruptions must come back as a
-//! [`CheckpointError`] (or a benign reinterpretation) — never a panic,
+//! Checkpoint wire-format robustness: decoding is *total* and, since the
+//! v3 integrity layout, *tamper-evident*. Arbitrary bytes, truncations,
+//! appended garbage, and single-byte corruptions must come back as a
+//! [`CheckpointError`] — never a panic, never a silent reinterpretation,
 //! never an attacker-sized allocation.
 
 use proptest::prelude::*;
 use wukong_core::checkpoint::{Checkpoint, CheckpointError, LoggedBatch, LoggedQuery};
 use wukong_rdf::{Pid, StreamTuple, Triple, Vid};
+
+/// v3 header: magic u32 | version u8 | three section lengths u32 |
+/// header FNV u64.
+const HEADER_LEN: usize = 25;
+const VERSION: u8 = 3;
+
+/// FNV-1a, mirroring the encoder's checksum (needed to hand-craft
+/// sections that pass integrity but carry malicious payloads).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Assembles a v3 image from raw section payloads, with valid checksums.
+fn craft(vts: &[u8], queries: &[u8], batches: &[u8]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&0x574b_5343u32.to_be_bytes()); // "WKSC"
+    b.push(VERSION);
+    for s in [vts, queries, batches] {
+        b.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    }
+    let h = fnv1a(&b);
+    b.extend_from_slice(&h.to_be_bytes());
+    for s in [vts, queries, batches] {
+        b.extend_from_slice(s);
+        b.extend_from_slice(&fnv1a(s).to_be_bytes());
+    }
+    b
+}
 
 fn arb_query() -> impl Strategy<Value = LoggedQuery> {
     (
@@ -89,11 +123,28 @@ proptest! {
         prop_assert!(Checkpoint::decode(&bytes[..cut]).is_err());
     }
 
-    /// Flip any single byte of a valid encoding: decode must return — a
-    /// header flip is detected by name, a payload flip may reinterpret,
-    /// but nothing panics or over-allocates.
+    /// Bytes appended after the final section are rejected, whatever they
+    /// are — a torn write that spliced two images can never decode as the
+    /// first one.
     #[test]
-    fn single_byte_corruption_is_total(
+    fn trailing_garbage_always_detected(
+        cp in arb_checkpoint(),
+        tail in proptest::collection::vec(0..=255u8, 1..64),
+    ) {
+        let mut bytes = cp.encode().to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert_eq!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::TrailingGarbage)
+        );
+    }
+
+    /// v3 integrity: flip any single byte of a valid encoding and decode
+    /// MUST reject it — the header is covered by its own checksum, every
+    /// section by one FNV-1a each, so no corruption can silently
+    /// reinterpret (the pre-v3 format only promised totality here).
+    #[test]
+    fn single_byte_corruption_always_rejected(
         cp in arb_checkpoint(),
         at in 0..100_000usize,
         mask in 1..=255u8,
@@ -105,33 +156,60 @@ proptest! {
             Err(e) => {
                 if i < 4 {
                     prop_assert_eq!(e, CheckpointError::BadMagic);
+                } else if i == 4 {
+                    prop_assert_eq!(e, CheckpointError::BadVersion(VERSION ^ mask));
+                } else if i < HEADER_LEN {
+                    // Length fields and the header FNV itself.
+                    prop_assert_eq!(e, CheckpointError::ChecksumMismatch("header"));
                 }
             }
-            Ok(d) => {
-                prop_assert!(i >= 5, "header corruption must not decode");
-                prop_assert_eq!(Checkpoint::decode(&d.encode()).as_ref(), Ok(&d));
-            }
-        }
-        if i == 4 {
-            prop_assert_eq!(
-                Checkpoint::decode(&bytes),
-                Err(CheckpointError::BadVersion(2 ^ mask))
-            );
+            Ok(d) => panic!("byte {i} xor {mask:#04x} decoded cleanly: {d:?}"),
         }
     }
 }
 
 /// A corrupt record count must fail as `Truncated` immediately, without
-/// first allocating count-many records.
+/// first allocating count-many records. v3 verifies checksums before any
+/// parsing, so the hostile count has to arrive inside a section whose
+/// checksum is *valid* — exactly what a compromised (not merely bit-rotted)
+/// image would carry.
 #[test]
 fn huge_counts_fail_fast_without_allocation() {
-    // magic, version, nodes=0, streams=0, then nq = u32::MAX.
-    let mut b = vec![0x57, 0x4b, 0x53, 0x43, 2, 0, 0, 0, 0];
-    b.extend_from_slice(&u32::MAX.to_be_bytes());
+    // Queries section claims u32::MAX records but holds none.
+    let b = craft(
+        &[0, 0, 0, 0],           // vts: 0 nodes, 0 streams
+        &u32::MAX.to_be_bytes(), // queries: nq = u32::MAX
+        &0u32.to_be_bytes(),     // batches: none
+    );
     assert_eq!(Checkpoint::decode(&b), Err(CheckpointError::Truncated));
 
-    // Same with nq = 0 and nb = u32::MAX.
-    let mut b = vec![0x57, 0x4b, 0x53, 0x43, 2, 0, 0, 0, 0, 0, 0, 0, 0];
-    b.extend_from_slice(&u32::MAX.to_be_bytes());
+    // Same for the batches section.
+    let b = craft(&[0, 0, 0, 0], &0u32.to_be_bytes(), &u32::MAX.to_be_bytes());
     assert_eq!(Checkpoint::decode(&b), Err(CheckpointError::Truncated));
+}
+
+/// Garbage *inside* a section — after its last record but covered by a
+/// valid section checksum — is still rejected: each section decoder
+/// requires exhaustion.
+#[test]
+fn intra_section_garbage_rejected() {
+    let b = craft(
+        &[0, 0, 0, 0, 0xAB], // vts: 0×0 dims, then a stray byte
+        &0u32.to_be_bytes(),
+        &0u32.to_be_bytes(),
+    );
+    assert_eq!(
+        Checkpoint::decode(&b),
+        Err(CheckpointError::TrailingGarbage)
+    );
+}
+
+/// An unknown version byte is named in the error even when everything
+/// else is plausible.
+#[test]
+fn future_version_rejected_by_name() {
+    let mut b = craft(&[0, 0, 0, 0], &0u32.to_be_bytes(), &0u32.to_be_bytes());
+    assert!(Checkpoint::decode(&b).is_ok());
+    b[4] = 9;
+    assert_eq!(Checkpoint::decode(&b), Err(CheckpointError::BadVersion(9)));
 }
