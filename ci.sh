@@ -41,12 +41,22 @@ for budget in 64 1024; do
         --test integration_stress --test props_overload --test integration_obs
 done
 
+# Trace matrix: the flight recorder is always-on by default and must be
+# observationally transparent — the quick equivalence suites pass with
+# recording forced on and forced off (`WUKONG_TRACE=0`).
+for trace in 0 1; do
+    echo "== matrix: WUKONG_TRACE=$trace"
+    WUKONG_TRACE=$trace cargo test -q -p wukong-bench \
+        --test integration_trace --test integration_obs --test differential \
+        --test integration_parallel
+done
+
 if [[ "${1:-}" == "--quick" ]]; then
     echo "== bench JSON smoke (tiny scale)"
     out="$(mktemp -d)"
     WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
         --bin table2_latency_single -- --json "$out/table2.json"
-    grep -q '"schema_version": 7' "$out/table2.json"
+    grep -q '"schema_version": 8' "$out/table2.json"
     echo "smoke OK: $out/table2.json"
 
     echo "== recovery drill smoke (tiny scale)"
@@ -89,6 +99,17 @@ if [[ "${1:-}" == "--quick" ]]; then
     grep -q '"all_pass": 1' "$out/chaos.json"
     grep -q '"integrity"' "$out/chaos.json"
     echo "chaos OK: $out/chaos.json"
+
+    echo "== trace fidelity smoke (tiny scale)"
+    WUKONG_SCALE=tiny cargo run -q --release -p wukong-bench \
+        --bin exp_trace -- --quick --json "$out/trace.json" --dump "$out/trace_dump.json"
+    grep -q '"all_pass": 1' "$out/trace.json"
+    grep -q '"trace"' "$out/trace.json"
+    grep -q '"kind": "trace_dump"' "$out/trace_dump.json"
+    cargo run -q --release -p wukong-bench --bin wukong-trace -- "$out/trace_dump.json" \
+        > "$out/trace_render.txt"
+    grep -q 'trace_dump: trigger quarantine' "$out/trace_render.txt"
+    echo "trace OK: $out/trace.json"
 fi
 
 echo "CI green"

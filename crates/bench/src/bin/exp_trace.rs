@@ -1,0 +1,343 @@
+//! Flight-recorder fidelity and overhead gates (DESIGN.md §14).
+//!
+//! Three gates, any failure exits non-zero:
+//!
+//! 1. **Byte-identity** — the same seeded LSBench run with tracing on
+//!    and off (`WUKONG_TRACE=0` ≙ `with_trace(false)`) must produce
+//!    byte-identical firings (FNV fingerprint over every row of every
+//!    firing), at 1 and 4 workers. Tracing observes; it must never
+//!    steer results, scheduling, or firing cadence.
+//! 2. **Overhead** — modeled latency (sum of per-firing `latency_ms`,
+//!    best of [`REPS`] repetitions) with the recorder enabled must stay
+//!    within [`OVERHEAD_FACTOR`] of the disabled run, with an absolute
+//!    [`OVERHEAD_SLACK_MS`] floor so sub-millisecond totals don't fail
+//!    on scheduler noise.
+//! 3. **Black-box dump** — a seeded fault plan that bit-flips in-flight
+//!    sub-batches must force an install-site quarantine, and the
+//!    recorder must hold a `trace_dump` whose trigger is the
+//!    `Quarantine` marker and whose causal closure (`linked_batches`)
+//!    contains the corrupted [`BatchId`].
+//!
+//! `--quick` shrinks repetitions for CI smoke; `--json <path>` writes
+//! the machine-readable report; `--dump <path>` writes the first
+//! captured `trace_dump` (the `wukong-trace` inspector's input).
+
+use std::sync::Arc;
+use wukong_bench::{
+    ls_workload, print_header, print_row, seed_from_env, BenchJson, LsWorkload, Scale,
+};
+use wukong_core::{EngineConfig, WukongS};
+use wukong_net::FaultPlan;
+use wukong_obs::TraceSnapshot;
+
+const NODES: usize = 4;
+/// Timeline tuples between firing rounds.
+const FIRE_EVERY: usize = 250;
+/// Enabled-trace modeled latency must stay within this factor of the
+/// disabled run...
+const OVERHEAD_FACTOR: f64 = 1.10;
+/// ...or within this absolute slack, whichever is looser (sub-ms totals
+/// would otherwise gate on scheduler noise).
+const OVERHEAD_SLACK_MS: f64 = 5.0;
+/// Bit-flip probability for the dump cell's message-corruption rule.
+const CORRUPT_P: f64 = 0.05;
+/// Seeds tried before declaring the dump cell unable to corrupt.
+const DUMP_TRIES: u64 = 8;
+
+fn register_mix(engine: &WukongS, bench: &wukong_benchdata::LsBench) {
+    for c in 1..=3 {
+        engine
+            .register_continuous(&wukong_benchdata::lsbench::continuous_query(bench, c, 0))
+            .expect("register");
+    }
+}
+
+struct RunOutcome {
+    /// FNV-1a over every `(query, window_end, rows)` of every firing.
+    fingerprint: u64,
+    firings: u64,
+    /// Sum of per-firing wall latency, ms (the modeled cost).
+    total_ms: f64,
+    trace: TraceSnapshot,
+}
+
+fn run(w: &LsWorkload, workers: usize, trace_on: bool, plan: Option<FaultPlan>) -> RunOutcome {
+    let engine = build(w, workers, trace_on, plan);
+    let (out, _) = drive(&engine, w);
+    out
+}
+
+fn build(w: &LsWorkload, workers: usize, trace_on: bool, plan: Option<FaultPlan>) -> WukongS {
+    let cfg = EngineConfig {
+        fault_tolerance: plan.is_some(),
+        fault_plan: plan,
+        ..EngineConfig::cluster(NODES)
+    }
+    .with_workers(workers)
+    .with_trace(trace_on);
+    let engine = WukongS::with_strings(cfg, Arc::clone(&w.strings));
+    engine.load_base(w.stored.iter().copied());
+    for schema in w.schemas() {
+        engine.register_stream(schema);
+    }
+    register_mix(&engine, &w.bench);
+    engine
+}
+
+/// Feeds the shared timeline, firing every [`FIRE_EVERY`] tuples, and
+/// fingerprints the firings.
+fn drive(engine: &WukongS, w: &LsWorkload) -> (RunOutcome, u64) {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    let mut firings = 0u64;
+    let mut total_ms = 0.0;
+    let mut fire = |fired: Vec<wukong_core::Firing>, eat: &mut dyn FnMut(u64)| {
+        for f in fired {
+            firings += 1;
+            total_ms += f.latency_ms;
+            eat(f.query as u64);
+            eat(f.window_end);
+            let mut rows = f.results.rows;
+            rows.sort();
+            for row in &rows {
+                for v in row {
+                    eat(v.0);
+                }
+            }
+        }
+    };
+    for (i, t) in w.timeline.iter().enumerate() {
+        if i > 0 && i % FIRE_EVERY == 0 {
+            fire(engine.fire_ready(), &mut eat);
+        }
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.advance_time(w.duration);
+    fire(engine.fire_ready(), &mut eat);
+    let trace = engine.handle().trace_snapshot();
+    let corrupted = engine.handle().fault_counters().msgs_corrupted;
+    (
+        RunOutcome {
+            fingerprint: h,
+            firings,
+            total_ms,
+            trace,
+        },
+        corrupted,
+    )
+}
+
+/// Best-of-`reps` modeled latency; every repetition must keep the same
+/// fingerprint (determinism is part of the gate, not an assumption).
+fn best_run(
+    w: &LsWorkload,
+    workers: usize,
+    trace_on: bool,
+    reps: usize,
+    failures: &mut Vec<String>,
+) -> RunOutcome {
+    let mut out = run(w, workers, trace_on, None);
+    for _ in 1..reps {
+        let rerun = run(w, workers, trace_on, None);
+        if rerun.fingerprint != out.fingerprint {
+            failures.push(format!(
+                "non-deterministic firing stream (workers {workers}, trace {trace_on})"
+            ));
+        }
+        if rerun.total_ms < out.total_ms {
+            out = rerun;
+        }
+    }
+    out
+}
+
+/// The dump cell: seeded message corruption must quarantine a shard and
+/// leave a `Quarantine` trace_dump whose lineage names the corrupted
+/// batch. Returns the dump (for `--dump`/inspection) on success.
+fn dump_cell(
+    w: &LsWorkload,
+    base_seed: u64,
+    failures: &mut Vec<String>,
+) -> Option<wukong_obs::Json> {
+    for i in 0..DUMP_TRIES {
+        let plan = FaultPlan::seeded(base_seed + i).corrupt_messages(CORRUPT_P);
+        let engine = build(w, 4, true, Some(plan));
+        let (_, corrupted) = drive(&engine, w);
+        if corrupted == 0 {
+            continue;
+        }
+        let quarantines = engine.handle().obs().integrity().snapshot().quarantines;
+        if quarantines == 0 {
+            failures.push(format!(
+                "seed {}: {corrupted} corruptions quarantined no shard",
+                base_seed + i
+            ));
+            return None;
+        }
+        let dumps = engine.handle().trace().dumps();
+        let quarantine_dump = dumps.iter().find(|d| {
+            d.get("trigger")
+                .and_then(|t| t.get("marker"))
+                .and_then(|m| m.as_str())
+                == Some(wukong_obs::trace::Marker::Quarantine.name())
+        });
+        let Some(dump) = quarantine_dump else {
+            failures.push(format!(
+                "seed {}: {quarantines} quarantines but no Quarantine trace_dump",
+                base_seed + i
+            ));
+            return None;
+        };
+        // The trigger's batch is the corrupted sub-batch; the causal
+        // closure must name it.
+        let batch = dump
+            .get("trigger")
+            .and_then(|t| t.get("batch"))
+            .and_then(|b| b.as_str())
+            .unwrap_or("-")
+            .to_string();
+        if wukong_obs::BatchId::parse_label(&batch).is_none_or(|b| b.is_none()) {
+            failures.push(format!(
+                "quarantine dump trigger batch unparseable: {batch:?}"
+            ));
+        }
+        let linked = dump
+            .get("linked_batches")
+            .and_then(|l| l.as_arr())
+            .map(|arr| arr.iter().any(|b| b.as_str() == Some(batch.as_str())))
+            .unwrap_or(false);
+        if !linked {
+            failures.push(format!(
+                "corrupted batch {batch} missing from linked_batches"
+            ));
+        }
+        if dump
+            .get("events")
+            .and_then(|e| e.as_arr())
+            .is_none_or(|e| e.is_empty())
+        {
+            failures.push("quarantine dump carries no causal events".into());
+        }
+        return Some(dump.clone());
+    }
+    failures.push(format!(
+        "no corruption landed in {DUMP_TRIES} seeds (p={CORRUPT_P})"
+    ));
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let dump_path = args
+        .iter()
+        .position(|a| a == "--dump")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut jr = BenchJson::from_env("exp_trace");
+    let base_seed = seed_from_env();
+    let reps = if quick { 2 } else { 5 };
+    let w = ls_workload(Scale::from_env());
+    println!(
+        "LSBench: {} stored triples, {} stream tuples over {} ms ({NODES} nodes, {reps} reps)",
+        w.stored.len(),
+        w.timeline.len(),
+        w.duration,
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    print_header(
+        "Trace: identity + overhead, enabled vs disabled",
+        &[
+            "workers", "firings", "off ms", "on ms", "ratio", "events", "result",
+        ],
+    );
+    for workers in [1usize, 4] {
+        let off = best_run(&w, workers, false, reps, &mut failures);
+        let on = best_run(&w, workers, true, reps, &mut failures);
+        let identical = on.fingerprint == off.fingerprint && on.firings == off.firings;
+        if !identical {
+            failures.push(format!(
+                "workers {workers}: tracing changed results ({} vs {} firings)",
+                on.firings, off.firings
+            ));
+        }
+        if off.trace.events != 0 {
+            failures.push(format!(
+                "workers {workers}: disabled recorder still wrote {} events",
+                off.trace.events
+            ));
+        }
+        if on.trace.events == 0 || on.trace.firings == 0 {
+            failures.push(format!(
+                "workers {workers}: enabled recorder captured nothing"
+            ));
+        }
+        let budget = (off.total_ms * OVERHEAD_FACTOR).max(off.total_ms + OVERHEAD_SLACK_MS);
+        let within = on.total_ms <= budget;
+        if !within {
+            failures.push(format!(
+                "workers {workers}: trace overhead {:.2} ms over {:.2} ms budget",
+                on.total_ms, budget
+            ));
+        }
+        let ratio = if off.total_ms > 0.0 {
+            on.total_ms / off.total_ms
+        } else {
+            1.0
+        };
+        print_row(vec![
+            format!("{workers}"),
+            format!("{}", on.firings),
+            format!("{:.2}", off.total_ms),
+            format!("{:.2}", on.total_ms),
+            format!("{ratio:.3}"),
+            format!("{}", on.trace.events),
+            if identical && within {
+                format!("{:08x}", on.fingerprint as u32)
+            } else {
+                "FAIL".into()
+            },
+        ]);
+        if workers == 4 {
+            jr.trace(&on.trace);
+            jr.counter("overhead_ratio", ratio);
+            jr.counter("modeled_ms_on", on.total_ms);
+            jr.counter("modeled_ms_off", off.total_ms);
+        }
+    }
+
+    let dump = dump_cell(&w, base_seed, &mut failures);
+    if let Some(d) = &dump {
+        let batches = d
+            .get("linked_batches")
+            .and_then(|l| l.as_arr())
+            .map_or(0, <[wukong_obs::Json]>::len);
+        let events = d
+            .get("events")
+            .and_then(|e| e.as_arr())
+            .map_or(0, <[wukong_obs::Json]>::len);
+        println!("\nquarantine trace_dump: {batches} linked batches, {events} causal events");
+        if let Some(path) = &dump_path {
+            std::fs::write(path, d.to_string_pretty()).expect("write dump");
+            println!("dump written to {path}");
+        }
+    }
+    jr.counter("dump_captured", if dump.is_some() { 1.0 } else { 0.0 });
+    jr.counter("all_pass", if failures.is_empty() { 1.0 } else { 0.0 });
+    jr.finish();
+
+    if !failures.is_empty() {
+        eprintln!("\ntrace gates FAILED:");
+        for f in &failures {
+            eprintln!("  gate: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall trace gates passed: identical results, bounded overhead, causal dump");
+}

@@ -7,7 +7,7 @@ use wukong_core::metrics::LatencyRecorder;
 use wukong_core::{RecoveryReport, WukongS};
 use wukong_obs::{
     FaultSnapshot, HistogramSnapshot, IncrementalSnapshot, IntegritySnapshot, Json,
-    OverloadSnapshot, PlanSnapshot, PoolSnapshot, RegistrySnapshot,
+    OverloadSnapshot, PlanSnapshot, PoolSnapshot, RegistrySnapshot, TraceSnapshot,
 };
 
 /// Version stamped into every JSON report as `schema_version`. Bump when
@@ -28,19 +28,23 @@ use wukong_obs::{
 /// `edges_traversed` work metric); 7 = added the `integrity` top-level
 /// member (state-integrity counters: per-site checksum failures,
 /// scrubber violations, quarantines, rebuilds) and extended `recovery`
-/// with `integrity_violations` and `quarantined_shards`.
-pub const JSON_SCHEMA_VERSION: u64 = 7;
+/// with `integrity_violations` and `quarantined_shards`; 8 = added the
+/// `trace` top-level member (flight-recorder counters: enabled, events
+/// recorded/evicted, firings minted, anomaly dumps held/suppressed) and
+/// extended `recovery` with `replayed_batch_ids` (causal batch labels of
+/// the replayed log, capped at the first 32).
+pub const JSON_SCHEMA_VERSION: u64 = 8;
 
 /// Collects an experiment's machine-readable results and writes them as
 /// one schema-stable JSON document when the binary was invoked with
 /// `--json <path>`. When the flag is absent every method is a cheap
 /// no-op, so binaries record unconditionally.
 ///
-/// Document layout (`schema_version` 7):
+/// Document layout (`schema_version` 8):
 ///
 /// ```json
 /// {
-///   "schema_version": 7,
+///   "schema_version": 8,
 ///   "experiment": "table2_latency_single",
 ///   "latency_ms": { "<series>": {"samples", "p50", "p90", "p99", "p999", "mean"} },
 ///   "counters":   { "<name>": <number> },
@@ -48,7 +52,8 @@ pub const JSON_SCHEMA_VERSION: u64 = 7;
 ///   "faults":     { "msgs_dropped", "retransmits", "rpc_timeouts", ... },
 ///   "recovery":   { "recovery_ms", "replayed_batches", "replayed_queries",
 ///                   "dedup_suppressed", "restored_stable_sn",
-///                   "integrity_violations", "quarantined_shards" },
+///                   "integrity_violations", "quarantined_shards",
+///                   "replayed_batch_ids" },
 ///   "pool":       { "tasks", "regions", "steals", "max_queue_depth",
 ///                   "serial_busy_ns", "modeled_busy_ns", "region_wall_ns" },
 ///   "incremental": { "incremental_firings", "rebuild_firings", "fallback_firings",
@@ -63,6 +68,8 @@ pub const JSON_SCHEMA_VERSION: u64 = 7;
 ///   "integrity":  { "checksum_fail_batch", "checksum_fail_message",
 ///                   "checksum_fail_checkpoint", "scrub_violations",
 ///                   "quarantines", "rebuilds", "rebuild_ns" },
+///   "trace":      { "enabled", "events", "evicted", "firings",
+///                   "dumps", "dumps_suppressed" },
 ///   "stages": {
 ///     "queries": { "<class>":  { "end_to_end_ns": {...}, "<stage>": {...} } },
 ///     "streams": { "<stream>": { "<stage>": {...} } }
@@ -169,6 +176,7 @@ impl BenchJson {
         doc.set("overload", Json::object());
         doc.set("plan", Json::object());
         doc.set("integrity", Json::object());
+        doc.set("trace", Json::object());
         doc.set("stages", {
             let mut s = Json::object();
             s.set("queries", Json::object());
@@ -300,7 +308,31 @@ impl BenchJson {
         o.set("restored_stable_sn", Json::from(r.restored_stable_sn));
         o.set("integrity_violations", Json::from(r.integrity_violations));
         o.set("quarantined_shards", Json::from(r.quarantined_shards));
+        // Causal labels of the replayed log, joinable against
+        // flight-recorder traces; capped to keep reports bounded.
+        o.set(
+            "replayed_batch_ids",
+            Json::Arr(
+                r.replayed_batch_ids
+                    .iter()
+                    .take(32)
+                    .map(|b| Json::Str(b.label()))
+                    .collect(),
+            ),
+        );
         *self.member("recovery") = o;
+    }
+
+    /// Records the flight-recorder counters (engine-lifetime totals).
+    pub fn trace(&mut self, snap: &TraceSnapshot) {
+        if !self.active() {
+            return;
+        }
+        let mut o = Json::object();
+        for (name, v) in snap.entries() {
+            o.set(name, Json::from(v));
+        }
+        *self.member("trace") = o;
     }
 
     /// Captures an engine's fabric counters, operational counters, and
@@ -336,6 +368,7 @@ impl BenchJson {
         self.overload(&engine.handle().obs().overload().snapshot());
         self.plan(&engine.handle().obs().plan().snapshot());
         self.integrity(&engine.handle().obs().integrity().snapshot());
+        self.trace(&engine.handle().trace_snapshot());
         *self.member("stages") = stages_json(&engine.handle().obs_snapshot());
     }
 
@@ -383,7 +416,7 @@ mod bench_json_tests {
         j.series("L1", &rec);
         j.counter("ops", 42.0);
         let doc = j.document();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(8));
         assert_eq!(doc.get("experiment").and_then(Json::as_str), Some("t"));
         let l1 = doc.get("latency_ms").unwrap().get("L1").unwrap();
         assert_eq!(l1.get("samples").and_then(Json::as_u64), Some(3));
@@ -398,6 +431,7 @@ mod bench_json_tests {
             "overload",
             "plan",
             "integrity",
+            "trace",
             "stages",
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");
@@ -527,6 +561,10 @@ mod bench_json_tests {
             restored_stable_sn: 9,
             integrity_violations: 1,
             quarantined_shards: 2,
+            replayed_batch_ids: vec![
+                wukong_obs::BatchId::mint(0, 100),
+                wukong_obs::BatchId::mint(1, 200),
+            ],
         };
         j.recovery(&rep);
         let doc = j.document();
@@ -542,6 +580,10 @@ mod bench_json_tests {
             Some(1)
         );
         assert_eq!(r.get("quarantined_shards").and_then(Json::as_u64), Some(2));
+        let ids = r.get("replayed_batch_ids").and_then(Json::as_arr).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].as_str(), Some("s0@100"));
+        assert_eq!(ids[1].as_str(), Some("s1@200"));
     }
 
     #[test]

@@ -127,6 +127,18 @@ impl ClusterHandle {
     pub fn fault_counters(&self) -> wukong_obs::FaultSnapshot {
         self.cluster.obs().faults().snapshot()
     }
+
+    /// The always-on flight recorder (causal span events, black-box
+    /// dumps). Benchmarks snapshot it after a run to serialise traces.
+    pub fn trace(&self) -> &Arc<wukong_obs::TraceRecorder> {
+        self.cluster.obs().trace()
+    }
+
+    /// Point-in-time copy of the flight recorder: merged events, firing
+    /// lineage metadata, and any anomaly dumps captured so far.
+    pub fn trace_snapshot(&self) -> wukong_obs::TraceSnapshot {
+        self.cluster.obs().trace().snapshot()
+    }
 }
 
 impl Cluster {

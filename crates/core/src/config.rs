@@ -141,6 +141,12 @@ pub struct EngineConfig {
     /// When the adaptive drift detector re-plans. Only consulted when
     /// [`EngineConfig::adaptive`] is on.
     pub drift: DriftPolicy,
+    /// The always-on flight recorder (DESIGN.md §14): causal IDs, compact
+    /// span events in per-thread rings, and anomaly-triggered black-box
+    /// dumps. On by default; `WUKONG_TRACE=0` turns it off. Results are
+    /// byte-identical either way — the recorder observes, never steers —
+    /// and `exp_trace` gates its modeled-latency overhead below 10%.
+    pub trace: bool,
 }
 
 /// Deadline-aware degradation policy (DESIGN.md §11): when continuous
@@ -197,7 +203,26 @@ impl EngineConfig {
             overload: OverloadPolicy::default(),
             adaptive: Self::adaptive_from_env(),
             drift: DriftPolicy::default(),
+            trace: Self::trace_from_env(),
         }
+    }
+
+    /// The `WUKONG_TRACE` environment override for
+    /// [`EngineConfig::trace`] (on unless set to `0` or `false` — the
+    /// flight recorder is always-on by design). CI runs the quick suite
+    /// at both settings to prove tracing never changes results.
+    pub fn trace_from_env() -> bool {
+        std::env::var("WUKONG_TRACE")
+            .map(|s| {
+                let s = s.trim();
+                !(s == "0" || s.eq_ignore_ascii_case("false"))
+            })
+            .unwrap_or(true)
+    }
+
+    /// Returns this configuration with `trace` set to `on`.
+    pub fn with_trace(self, on: bool) -> Self {
+        EngineConfig { trace: on, ..self }
     }
 
     /// The `WUKONG_ADAPTIVE` environment override for
@@ -392,6 +417,15 @@ mod tests {
         });
         assert_eq!(c.drift.band, 2.0);
         assert_eq!(c.drift.trip_after, 1);
+    }
+
+    #[test]
+    fn trace_knob() {
+        // Presets default from the environment (ON unless WUKONG_TRACE
+        // is 0/false — the recorder is always-on); the builder pins it.
+        let c = EngineConfig::single_node();
+        assert!(!c.with_trace(false).trace);
+        assert!(EngineConfig::single_node().with_trace(true).trace);
     }
 
     #[test]

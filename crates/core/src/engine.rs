@@ -17,6 +17,7 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wukong_net::{NodeId, TaskTimer};
+use wukong_obs::trace::{self, BatchId, FiringId, Marker, TraceRecorder};
 use wukong_obs::{Stage, StageTrace};
 use wukong_query::exec::{ExecContext, GraphAccess, StringLiteralResolver, WindowInstance};
 use wukong_query::{
@@ -37,6 +38,14 @@ pub type ContinuousId = usize;
 /// One ready window batch: the fired `(stream, lo, hi)` instances plus
 /// the snapshot the SN-VTS plan assigned to the window's end.
 type AssignedBatch = Vec<(Vec<(usize, Timestamp, Timestamp)>, wukong_store::SnapshotId)>;
+
+/// An [`AssignedBatch`] entry after the serial causal-ID mint: the
+/// window instances, assigned snapshot, and the firing's [`FiringId`].
+type MintedFiring = (
+    Vec<(usize, Timestamp, Timestamp)>,
+    wukong_store::SnapshotId,
+    FiringId,
+);
 
 /// Simulated per-batch logging delay under fault tolerance (§6.8 measures
 /// ≈ 0.3 ms per batch on the paper's testbed).
@@ -97,6 +106,10 @@ pub struct RecoveryReport {
     /// replays their pristine logged batches, so the rebuilt engine
     /// starts with none.
     pub quarantined_shards: u64,
+    /// Causal IDs of every batch the replay re-enqueued, in replay
+    /// order. Batch IDs are a pure function of `(stream, timestamp)`,
+    /// so these join directly against pre-crash flight-recorder traces.
+    pub replayed_batch_ids: Vec<BatchId>,
 }
 
 /// The deadline-aware degradation state machine (DESIGN.md §11).
@@ -232,6 +245,7 @@ impl WukongS {
     /// generators intern their entities before the engine exists).
     pub fn with_strings(cfg: EngineConfig, strings: Arc<StringServer>) -> Self {
         let cluster = Arc::new(Cluster::new_with_strings(&cfg, strings));
+        cluster.obs().trace().set_enabled(cfg.trace);
         let coordinator = Coordinator::new(cfg.nodes, Vec::new(), cfg.staleness);
         WukongS {
             cluster,
@@ -282,6 +296,12 @@ impl WukongS {
     /// The configuration this deployment runs under.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The deployment's flight recorder (always present; event capture
+    /// is gated by [`EngineConfig::trace`]).
+    fn tracer(&self) -> &Arc<TraceRecorder> {
+        self.cluster.obs().trace()
     }
 
     /// Loads initial stored data (snapshot 0).
@@ -402,6 +422,11 @@ impl WukongS {
 
     fn enqueue_batch(&self, pl: &mut Pipeline, batch: Batch) {
         let s = batch.stream.0 as usize;
+        // First causal appearance of this batch's ID: a zero-width
+        // Adaptor span marking seal → pipeline entry.
+        let _seal_span = self
+            .tracer()
+            .span(Stage::Adaptor, FiringId::NONE, batch.id());
         // Log on arrival, not on processing: a batch stalled behind a
         // dead node's VTS entry must already be in the durable log, or a
         // crash during the outage loses it (§5 logs each batch as it
@@ -426,6 +451,7 @@ impl WukongS {
             return;
         };
         let t0 = std::time::Instant::now();
+        let shed_log_before = pl.shedder.log().len();
         let shed = pl.shedder.enforce(&mut pl.pending[s], &budget);
         if shed > 0 {
             let overload = self.cluster.obs().overload();
@@ -434,9 +460,22 @@ impl WukongS {
                 wukong_stream::ShedPolicy::SampleWithinBatch => overload.inc_shed_sampled(),
             }
             overload.add_tuples_shed(shed);
+            // Every shed event is a point marker joined on the victim
+            // batch's causal ID; the episode *start* (the Normal →
+            // Shedding transition) is the anomaly that freezes the
+            // recorder into a black-box dump.
+            let tracer = self.tracer();
+            for rec in &pl.shedder.log()[shed_log_before..] {
+                tracer.marker(Marker::Shed, FiringId::NONE, rec.batch, rec.tuples_shed);
+            }
             if pl.overload == OverloadState::Normal {
                 pl.overload = OverloadState::Shedding;
                 overload.inc_state_transition();
+                let first = pl.shedder.log()[shed_log_before..]
+                    .first()
+                    .map(|r| r.batch)
+                    .unwrap_or(BatchId::NONE);
+                tracer.anomaly(Marker::Shed, FiringId::NONE, first, shed);
             }
             let name = self.cluster.stream(s).schema.name.clone();
             self.cluster.obs().record_stream_stage(
@@ -497,6 +536,9 @@ impl WukongS {
     /// their firings byte-match a never-overloaded run (DESIGN.md §11).
     fn catch_up(&self, pl: &mut Pipeline) {
         let t0 = std::time::Instant::now();
+        let _span = self
+            .tracer()
+            .span(Stage::CatchUp, FiringId::NONE, BatchId::NONE);
         let overload = self.cluster.obs().overload();
         pl.overload = OverloadState::CatchUp;
         overload.inc_state_transition();
@@ -707,6 +749,11 @@ impl WukongS {
 
     fn process_batch(&self, pl: &mut Pipeline, batch: Batch, sn: wukong_store::SnapshotId) {
         let s = batch.stream.0 as usize;
+        let bid = batch.id();
+        let tracer = Arc::clone(self.tracer());
+        // Scoped context for the whole batch path: fabric-level events
+        // (dead-node drops, retry exhaustion) attribute to this batch.
+        let _scope = trace::install_recorder(&tracer, FiringId::NONE, bid);
         // Conservation ledger: the batch leaves the pending queues here —
         // installed, dedup-suppressed, or rejected alike — so the egress
         // side counts before any early return (scrubber invariant,
@@ -718,6 +765,7 @@ impl WukongS {
         // emission — and recovery replays the pristine logged copy.
         if !batch.verify() {
             self.cluster.obs().integrity().inc_checksum_fail_batch();
+            tracer.anomaly(Marker::ChecksumFail, FiringId::NONE, bid, 0);
             return;
         }
         // At-least-once suppression: a batch at or below the stream's
@@ -740,6 +788,7 @@ impl WukongS {
         // retransmitted, duplicate copies suppressed), and sub-batches
         // for dead nodes are lost until recovery replays the log.
         let dispatch_start = std::time::Instant::now();
+        let dispatch_span = tracer.span(Stage::Dispatch, FiringId::NONE, bid);
         let mut subs = dispatch(&batch, self.cluster.shard_map());
         let fabric = self.cluster.fabric();
         let faulty = fabric.faults_enabled();
@@ -795,6 +844,7 @@ impl WukongS {
             }
         }
         let dispatch_ns = dispatch_start.elapsed().as_nanos() as u64;
+        drop(dispatch_span);
 
         // In-flight corruption (chaos): an active corruption rule may
         // flip one bit in a delivered remote sub-batch between the wire
@@ -826,9 +876,11 @@ impl WukongS {
             if delivered[node] && !sub.verify() {
                 let integrity = self.cluster.obs().integrity();
                 integrity.inc_checksum_fail_message();
+                tracer.marker(Marker::ChecksumFail, FiringId::NONE, sub.batch, node as u64);
                 if !pl.quarantined[node] {
                     pl.quarantined[node] = true;
                     integrity.inc_quarantine();
+                    tracer.anomaly(Marker::Quarantine, FiringId::NONE, sub.batch, node as u64);
                 }
                 delivered[node] = false;
             }
@@ -858,6 +910,7 @@ impl WukongS {
                 delivered[node] = false;
             }
         }
+        let inject_span = tracer.span(Stage::Injection, FiringId::NONE, bid);
         let applied = self.cluster.pool(entry).map(
             subs.iter().collect::<Vec<&wukong_stream::SubBatch>>(),
             |_, sub| {
@@ -941,8 +994,10 @@ impl WukongS {
             receipts[node as usize].push(wukong_store::base::AppendReceipt { key, offset: off });
             stats[node as usize].inject_ns += t0.elapsed().as_nanos() as u64;
         }
+        drop(inject_span);
 
         // Build and install each node's stream-index batch.
+        let index_span = tracer.span(Stage::StreamIndex, FiringId::NONE, bid);
         let results: Vec<(wukong_store::IndexBatch, InjectStats)> = receipts
             .iter()
             .zip(stats.iter())
@@ -958,6 +1013,7 @@ impl WukongS {
                 (ib, st)
             })
             .collect();
+        drop(index_span);
 
         // Replication of index batches to subscriber nodes (§4.2): one
         // message per (origin, subscriber) pair carrying the entries.
@@ -1358,7 +1414,8 @@ impl WukongS {
         instances: &[(usize, Timestamp, Timestamp)],
     ) -> (ResultSet, f64, StageTrace) {
         let sn = self.pipeline.lock().coordinator.stable_sn();
-        let (results, ms, trace, _) = self.execute_instances_at(r, class, instances, sn);
+        let (results, ms, trace, _) =
+            self.execute_instances_at(r, class, instances, sn, FiringId::NONE);
         (results, ms, trace)
     }
 
@@ -1373,26 +1430,32 @@ impl WukongS {
         class: &str,
         instances: &[(usize, Timestamp, Timestamp)],
         sn: wukong_store::SnapshotId,
+        fid: FiringId,
     ) -> (ResultSet, f64, StageTrace, Vec<(u64, u64)>) {
-        let mut timer = TaskTimer::start();
-        let mut trace = StageTrace::new();
-        let mut fanout = Vec::new();
-        let t0 = timer.total_ns();
-        let ctx = Self::context_at(sn, instances);
-        let plan = self.plan_for(r, &ctx);
-        trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
-        let results = self.run_traced(
-            &r.query,
-            &plan,
-            &ctx,
-            r.home,
-            &mut timer,
-            &mut trace,
-            &mut fanout,
-        );
-        let total_ns = timer.total_ns();
-        self.cluster.obs().record_query(class, &trace, total_ns);
-        (results, total_ns as f64 / 1e6, trace, fanout)
+        let tracer = Arc::clone(self.tracer());
+        trace::with_recorder(&tracer, fid, BatchId::NONE, || {
+            let mut timer = TaskTimer::start();
+            let mut trace = StageTrace::new();
+            let mut fanout = Vec::new();
+            let t0 = timer.total_ns();
+            let we_span = trace::scoped_span(Stage::WindowExtract);
+            let ctx = Self::context_at(sn, instances);
+            let plan = self.plan_for(r, &ctx);
+            drop(we_span);
+            trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
+            let results = self.run_traced(
+                &r.query,
+                &plan,
+                &ctx,
+                r.home,
+                &mut timer,
+                &mut trace,
+                &mut fanout,
+            );
+            let total_ns = timer.total_ns();
+            self.cluster.obs().record_query(class, &trace, total_ns);
+            (results, total_ns as f64 / 1e6, trace, fanout)
+        })
     }
 
     /// Whether firings of `r` run under delta maintenance right now:
@@ -1416,42 +1479,49 @@ impl WukongS {
         class: &str,
         instances: &[(usize, Timestamp, Timestamp)],
         sn: wukong_store::SnapshotId,
+        fid: FiringId,
     ) -> (ResultSet, f64, StageTrace, Vec<(u64, u64)>) {
-        let mut timer = TaskTimer::start();
-        let mut trace = StageTrace::new();
-        let t0 = timer.total_ns();
-        let ctx = Self::context_at(sn, instances);
-        let plan = self.plan_for(r, &ctx);
-        trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
-        let access = NodeAccess::new(&self.cluster, r.home);
-        let lit = StringLiteralResolver(self.strings());
-        // Registered RANGE per query-local stream, in window order — the
-        // instance spans can be clamped at the stream epoch and must not
-        // shorten row expiry.
-        let ranges: Vec<Timestamp> = r
-            .window
-            .lock()
-            .windows()
-            .iter()
-            .map(|w| w.range_ms)
-            .collect();
-        let (results, stats) = {
-            let mut state = r.delta.lock();
-            wukong_query::incremental::maintain(
-                &r.query, &plan, &mut state, &ctx, &ranges, &access, &lit, &mut timer, &mut trace,
-            )
-        };
-        self.cluster.obs().incremental().record_maintained(
-            stats.rebuilt,
-            stats.rows_reused,
-            stats.rows_recomputed,
-            stats.rows_retracted,
-        );
-        let total_ns = timer.total_ns();
-        self.cluster.obs().record_query(class, &trace, total_ns);
-        // Maintained firings never run the full step loop; drift is
-        // observed through probes instead (see `probe_fanout`).
-        (results, total_ns as f64 / 1e6, trace, Vec::new())
+        let tracer = Arc::clone(self.tracer());
+        trace::with_recorder(&tracer, fid, BatchId::NONE, || {
+            let mut timer = TaskTimer::start();
+            let mut trace = StageTrace::new();
+            let t0 = timer.total_ns();
+            let we_span = trace::scoped_span(Stage::WindowExtract);
+            let ctx = Self::context_at(sn, instances);
+            let plan = self.plan_for(r, &ctx);
+            drop(we_span);
+            trace.add(Stage::WindowExtract, timer.total_ns().saturating_sub(t0));
+            let access = NodeAccess::new(&self.cluster, r.home);
+            let lit = StringLiteralResolver(self.strings());
+            // Registered RANGE per query-local stream, in window order — the
+            // instance spans can be clamped at the stream epoch and must not
+            // shorten row expiry.
+            let ranges: Vec<Timestamp> = r
+                .window
+                .lock()
+                .windows()
+                .iter()
+                .map(|w| w.range_ms)
+                .collect();
+            let (results, stats) = {
+                let mut state = r.delta.lock();
+                wukong_query::incremental::maintain(
+                    &r.query, &plan, &mut state, &ctx, &ranges, &access, &lit, &mut timer,
+                    &mut trace,
+                )
+            };
+            self.cluster.obs().incremental().record_maintained(
+                stats.rebuilt,
+                stats.rows_reused,
+                stats.rows_recomputed,
+                stats.rows_retracted,
+            );
+            let total_ns = timer.total_ns();
+            self.cluster.obs().record_query(class, &trace, total_ns);
+            // Maintained firings never run the full step loop; drift is
+            // observed through probes instead (see `probe_fanout`).
+            (results, total_ns as f64 / 1e6, trace, Vec::new())
+        })
     }
 
     /// Synthesizes a feedback observation for a maintained firing by
@@ -1524,7 +1594,7 @@ impl WukongS {
     /// from the same contributing edges, so the firing sequence is
     /// unchanged. The re-planning pause is traced as [`Stage::Replan`]
     /// under the query's class, outside any firing's end-to-end latency.
-    fn replan(&self, r: &Registered, ctx: &ExecContext, class: &str) {
+    fn replan(&self, r: &Registered, ctx: &ExecContext, class: &str, fid: FiringId) {
         let t0 = std::time::Instant::now();
         let access = NodeAccess::new(&self.cluster, r.home);
         let plan = plan_query(&r.query, &access, ctx);
@@ -1542,6 +1612,9 @@ impl WukongS {
         let obs = self.cluster.obs();
         obs.plan().record_replan();
         obs.record_query_stage(class, Stage::Replan, t0.elapsed().as_nanos() as u64);
+        // A drift trip is an anomaly worth a black box: the dump carries
+        // the firing whose feedback tripped it (NONE for forced re-plans).
+        self.tracer().anomaly(Marker::Replan, fid, BatchId::NONE, 0);
     }
 
     /// Forces an immediate re-plan of registered query `id` against the
@@ -1569,7 +1642,7 @@ impl WukongS {
             .collect();
         let ctx = Self::context_at(sn, &instances);
         let class = Self::query_class(&r, id);
-        self.replan(&r, &ctx, &class);
+        self.replan(&r, &ctx, &class, FiringId::NONE);
     }
 
     /// The engine's plan cache (hit/miss counters, for tests/reports).
@@ -1580,6 +1653,29 @@ impl WukongS {
     /// The current store-statistics epoch.
     pub fn stats_epoch(&self) -> u64 {
         self.stats_epoch.current()
+    }
+
+    /// The batch-grid lineage of one firing: every sealed batch a fired
+    /// window consumed, enumerated as the multiples of each stream's
+    /// batch interval inside `[lo, hi]`. Batch IDs are a pure function of
+    /// `(stream, timestamp)`, so the lineage is exact without retaining
+    /// any per-batch state — and identical across recovery replays.
+    fn lineage_of(&self, instances: &[(usize, Timestamp, Timestamp)]) -> Vec<BatchId> {
+        let mut out = Vec::new();
+        for &(s, lo, hi) in instances {
+            let interval = self.cluster.stream(s).schema.batch_interval_ms.max(1);
+            let mut ts = lo.div_ceil(interval) * interval;
+            while ts <= hi {
+                out.push(BatchId::mint(s as u16, ts));
+                // One past the cap is enough for `mint_firing` to set the
+                // truncation flag; no point enumerating further.
+                if out.len() > TraceRecorder::LINEAGE_CAP {
+                    return out;
+                }
+                ts += interval;
+            }
+        }
+        out
     }
 
     fn query_class(r: &Registered, id: ContinuousId) -> String {
@@ -1637,6 +1733,11 @@ impl WukongS {
                         .max()
                         .unwrap_or(cur_sn);
                     if sn_w > cur_sn {
+                        // Window held: its assigned epoch has not retired
+                        // yet. A point marker records the hold so stalled
+                        // firings are visible in the flight recorder.
+                        self.tracer()
+                            .marker(Marker::Hold, FiringId::NONE, BatchId::NONE, sn_w.0);
                         break;
                     }
                     b.push((w.fire(), sn_w));
@@ -1648,15 +1749,32 @@ impl WukongS {
             }
             let class = Self::query_class(r, id);
             let maintained = self.maintains(r);
+            // Mint causal firing IDs serially, in window order, before
+            // any parallel execution — IDs (and dump lineage) are
+            // deterministic at every worker count. Minting happens even
+            // with tracing off so results never depend on the flag.
+            let tracer = Arc::clone(self.tracer());
+            let batch: Vec<MintedFiring> = batch
+                .into_iter()
+                .map(|(instances, sn_w)| {
+                    let windows: Vec<(u16, u64, u64)> = instances
+                        .iter()
+                        .map(|&(s, lo, hi)| (s as u16, lo, hi))
+                        .collect();
+                    let lineage = self.lineage_of(&instances);
+                    let fid = tracer.mint_firing(&class, windows, sn_w.0, lineage);
+                    (instances, sn_w, fid)
+                })
+                .collect();
             let executed: Vec<_> = if maintained {
                 // Delta maintenance chains state from window to window,
                 // so a maintained query's batch runs serially in window
                 // order — identical at any worker count.
                 batch
                     .into_iter()
-                    .map(|(instances, sn_w)| {
-                        let run = self.execute_incremental_at(r, &class, &instances, sn_w);
-                        (instances, sn_w, run)
+                    .map(|(instances, sn_w, fid)| {
+                        let run = self.execute_incremental_at(r, &class, &instances, sn_w, fid);
+                        (instances, sn_w, fid, run)
                     })
                     .collect()
             } else {
@@ -1668,9 +1786,9 @@ impl WukongS {
                 }
                 self.cluster
                     .pool(r.home)
-                    .map(batch, |_, (instances, sn_w)| {
-                        let run = self.execute_instances_at(r, &class, &instances, sn_w);
-                        (instances, sn_w, run)
+                    .map(batch, |_, (instances, sn_w, fid)| {
+                        let run = self.execute_instances_at(r, &class, &instances, sn_w, fid);
+                        (instances, sn_w, fid, run)
                     })
             };
             // CONSTRUCT feeding, firing emission, and cardinality
@@ -1678,7 +1796,7 @@ impl WukongS {
             // window order — feedback order (and thus every re-plan
             // point) is independent of the worker count.
             let mut replanned_in_batch = false;
-            for (instances, sn_w, (mut results, latency_ms, stages, fanout)) in executed {
+            for (instances, sn_w, fid, (mut results, latency_ms, stages, fanout)) in executed {
                 let window_end = instances.first().map(|i| i.2).unwrap_or(0);
                 if self.cfg.adaptive && !replanned_in_batch {
                     // Firings executed after a mid-batch re-plan still
@@ -1692,11 +1810,12 @@ impl WukongS {
                     };
                     if self.observe_feedback(r, &observed) {
                         let ctx = Self::context_at(sn_w, &instances);
-                        self.replan(r, &ctx, &class);
+                        self.replan(r, &ctx, &class, fid);
                         replanned_in_batch = true;
                     }
                 }
-                self.degrade_and_track(&instances, &mut results, latency_ms);
+                self.degrade_and_track(&instances, &mut results, latency_ms, fid);
+                self.tracer().debug_assert_depth_zero(&class);
                 // CONSTRUCT firings feed their derived stream with
                 // IStream semantics: only rows new relative to the
                 // previous firing are instantiated, so sliding windows do
@@ -1758,6 +1877,7 @@ impl WukongS {
         instances: &[(usize, Timestamp, Timestamp)],
         results: &mut ResultSet,
         latency_ms: f64,
+        fid: FiringId,
     ) {
         let mut pl = self.pipeline.lock();
         let mut tuples_shed = 0u64;
@@ -1797,6 +1917,15 @@ impl WukongS {
         }
         if latency_ms > self.cfg.overload.latency_budget_ms {
             pl.miss_streak += 1;
+            // Deadline degradation: the firing overran its latency
+            // budget. The anomaly's dump links the firing's full lineage
+            // so the slow path is reconstructible after the fact.
+            self.tracer().anomaly(
+                Marker::DeadlineMiss,
+                fid,
+                BatchId::NONE,
+                (latency_ms * 1_000.0) as u64,
+            );
             if pl.miss_streak >= self.cfg.overload.trip_after_misses
                 && pl.overload == OverloadState::Normal
             {
@@ -1935,6 +2064,15 @@ impl WukongS {
                 .obs()
                 .integrity()
                 .add_scrub_violations(out.len() as u64);
+            // Scrub violations reuse the checksum-failure anomaly class:
+            // both are state-integrity breaches, and the dump captures
+            // whatever the recorder saw leading up to the breach.
+            self.tracer().anomaly(
+                Marker::ChecksumFail,
+                FiringId::NONE,
+                BatchId::NONE,
+                out.len() as u64,
+            );
         }
         out
     }
@@ -2217,6 +2355,9 @@ impl WukongS {
         // Share the original string server: IDs in checkpoints refer to it
         // (in production it is reloaded as part of the initial dataset).
         let engine = WukongS::with_strings(cfg, Arc::clone(strings));
+        let recovery_span = engine
+            .tracer()
+            .span(Stage::Recovery, FiringId::NONE, BatchId::NONE);
         engine.load_base(base);
         for schema in schemas {
             engine.register_stream(schema);
@@ -2279,6 +2420,7 @@ impl WukongS {
                 replay_high[s] = replay_high[s].max(lb.timestamp);
                 let batch = Batch::sealed(StreamId(lb.stream), lb.timestamp, lb.tuples, 0);
                 report.replayed_batches += 1;
+                report.replayed_batch_ids.push(batch.id());
                 engine.enqueue_batch(&mut pl, batch);
                 // Drain after *every* replayed batch, not once per
                 // checkpoint: the log preserves ingestion order, and
@@ -2320,6 +2462,7 @@ impl WukongS {
             .cluster
             .obs()
             .record_stream_stage("recovery", Stage::Recovery, ns);
+        drop(recovery_span);
         Ok((engine, report))
     }
 }

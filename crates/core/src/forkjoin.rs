@@ -186,7 +186,14 @@ fn partitioned_step(
             .filter(|(_, p)| !p.is_empty())
             .collect();
         let region = std::time::Instant::now();
+        // Pool workers have their own thread-locals: capture the calling
+        // thread's recorder context and re-install it inside each task so
+        // per-partition events keep the firing's causal attribution.
+        let trace_ctx = wukong_obs::trace::current();
         let executed = cluster.pool(home).map(work, |_, (n, part)| {
+            let _scope = trace_ctx
+                .as_ref()
+                .map(|(rec, fid, bid)| wukong_obs::trace::install_recorder(rec, *fid, *bid));
             let node = NodeId(n as u16);
             let access = NodeAccess::new(cluster, node);
             let started = std::time::Instant::now();
@@ -389,20 +396,24 @@ pub fn execute_forkjoin_traced(
     let t0 = timer.total_ns();
     let mut fanout_ns = 0u64;
 
-    for step in &plan.steps {
-        let fork_start = timer.total_ns();
-        let (input, anchored) = if step.mode == StepMode::IndexScan {
-            expand_index_scan(step, &table, ctx, cluster, home, timer)
-        } else {
-            (table, *step)
-        };
-        table = partitioned_step(
-            &anchored, &input, ctx, cluster, home, cores, timer, &mut tally,
-        );
-        fanout_ns += timer.total_ns().saturating_sub(fork_start);
-        apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
-        if table.is_empty() {
-            break;
+    let match_span = wukong_obs::trace::scoped_span(Stage::PatternMatch);
+    {
+        let _fanout_span = wukong_obs::trace::scoped_span(Stage::ForkJoinFanout);
+        for step in &plan.steps {
+            let fork_start = timer.total_ns();
+            let (input, anchored) = if step.mode == StepMode::IndexScan {
+                expand_index_scan(step, &table, ctx, cluster, home, timer)
+            } else {
+                (table, *step)
+            };
+            table = partitioned_step(
+                &anchored, &input, ctx, cluster, home, cores, timer, &mut tally,
+            );
+            fanout_ns += timer.total_ns().saturating_sub(fork_start);
+            apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
+            if table.is_empty() {
+                break;
+            }
         }
     }
 
@@ -410,15 +421,20 @@ pub fn execute_forkjoin_traced(
     // expand rows branch by branch; remote reads are charged through the
     // access layer).
     let merge_start = timer.total_ns();
+    let merge_span = wukong_obs::trace::scoped_span(Stage::ForkJoinMerge);
     let access = NodeAccess::new(cluster, home);
     let table = wukong_query::executor::apply_union(query, table, ctx, &access, timer);
     let table = wukong_query::executor::apply_not_exists(query, table, ctx, &access, timer);
     let table = wukong_query::executor::apply_optional(query, table, ctx, &access, timer);
+    drop(merge_span);
+    drop(match_span);
     let matched = timer.total_ns();
     trace.add(Stage::PatternMatch, matched.saturating_sub(t0));
     trace.add(Stage::ForkJoinFanout, fanout_ns);
     trace.add(Stage::ForkJoinMerge, matched.saturating_sub(merge_start));
+    let emit_span = wukong_obs::trace::scoped_span(Stage::ResultEmit);
     let mut out = finalize(query, table, &applied, lit);
+    drop(emit_span);
     trace.add(Stage::ResultEmit, timer.total_ns().saturating_sub(matched));
     if !tally.unreachable.is_empty() {
         tally.unreachable.sort_unstable();

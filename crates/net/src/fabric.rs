@@ -187,6 +187,13 @@ impl Fabric {
             if let Some(f) = &self.faults {
                 if !f.is_up(to) {
                     f.record_dead_read(from, to);
+                    // The verb completed with an error: to the issuing
+                    // firing this is a missed read deadline, attributed
+                    // through the caller's scoped flight recorder.
+                    wukong_obs::trace::scoped_marker(
+                        wukong_obs::trace::Marker::DeadlineMiss,
+                        u64::from(to.0),
+                    );
                     return Err(NodeDown(to));
                 }
             }
@@ -221,6 +228,10 @@ impl Fabric {
         loop {
             if !f.is_up(to) {
                 f.record_drop(from, to);
+                wukong_obs::trace::scoped_marker(
+                    wukong_obs::trace::Marker::DeadlineMiss,
+                    u64::from(to.0),
+                );
                 return 0;
             }
             self.charge_message(from, to, bytes, timer);
@@ -231,6 +242,12 @@ impl Fabric {
             }
             attempts += 1;
             if attempts >= MAX_RETRANSMITS {
+                // A total-loss link exhausted its retry budget — the
+                // delivery deadline is gone for good.
+                wukong_obs::trace::scoped_marker(
+                    wukong_obs::trace::Marker::DeadlineMiss,
+                    u64::from(to.0),
+                );
                 return 0;
             }
             f.counters().inc_retransmit();

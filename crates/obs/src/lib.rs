@@ -31,6 +31,7 @@ pub mod plan;
 pub mod pool;
 pub mod registry;
 pub mod stage;
+pub mod trace;
 
 pub use faults::{FaultCounters, FaultSnapshot};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
@@ -42,3 +43,6 @@ pub use plan::{PlanCounters, PlanSnapshot};
 pub use pool::{PoolCounters, PoolSnapshot};
 pub use registry::{Registry, RegistrySnapshot, SeriesSnapshot};
 pub use stage::{Stage, StageTrace};
+pub use trace::{
+    BatchId, FiringId, FiringMeta, Marker, SpanGuard, TraceEvent, TraceRecorder, TraceSnapshot,
+};

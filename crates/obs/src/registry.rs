@@ -23,6 +23,7 @@ use crate::overload::OverloadCounters;
 use crate::plan::PlanCounters;
 use crate::pool::PoolCounters;
 use crate::stage::{Stage, StageTrace};
+use crate::trace::TraceRecorder;
 
 /// Per-stage histograms for one keyed series, plus an end-to-end
 /// histogram (used by query series; batch series leave it empty).
@@ -43,6 +44,7 @@ pub struct Registry {
     overload: Arc<OverloadCounters>,
     plan: Arc<PlanCounters>,
     integrity: Arc<IntegrityCounters>,
+    trace: Arc<TraceRecorder>,
 }
 
 fn series_for(
@@ -148,6 +150,13 @@ impl Registry {
     /// record here.
     pub fn integrity(&self) -> &Arc<IntegrityCounters> {
         &self.integrity
+    }
+
+    /// The shared flight recorder (`crate::trace`); the engine's batch
+    /// and firing paths emit causal span/marker events here, and
+    /// anomaly sites trigger black-box dumps through it.
+    pub fn trace(&self) -> &Arc<TraceRecorder> {
+        &self.trace
     }
 
     /// Point-in-time copy of every keyed series.

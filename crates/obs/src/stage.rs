@@ -72,6 +72,17 @@ impl Stage {
         Stage::CatchUp,
     ];
 
+    /// The stage's position in [`Stage::ALL`] — the compact `u8` code
+    /// flight-recorder events carry (see `crate::trace`).
+    pub fn index(self) -> u8 {
+        Stage::ALL.iter().position(|s| *s == self).unwrap() as u8
+    }
+
+    /// Decodes a [`Stage::index`] code.
+    pub fn from_index(i: u8) -> Option<Stage> {
+        Stage::ALL.get(i as usize).copied()
+    }
+
     /// Stable snake_case name used in JSON reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -202,6 +213,15 @@ mod tests {
         let names: std::collections::HashSet<_> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), Stage::ALL.len());
         assert_eq!(Stage::WindowExtract.name(), "window_extract");
+    }
+
+    #[test]
+    fn index_codes_round_trip() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index() as usize, i);
+            assert_eq!(Stage::from_index(s.index()), Some(*s));
+        }
+        assert_eq!(Stage::from_index(Stage::ALL.len() as u8), None);
     }
 
     #[test]

@@ -596,6 +596,7 @@ pub fn execute_with_fanout(
     let mut applied = vec![false; query.filters.len()];
     let t0 = timer.total_ns();
 
+    let match_span = wukong_obs::trace::scoped_span(Stage::PatternMatch);
     fanout.clear();
     fanout.resize(plan.steps.len(), (0, 0));
     for (si, step) in plan.steps.iter().enumerate() {
@@ -612,9 +613,12 @@ pub fn execute_with_fanout(
     apply_ready_filters(&mut table, &query.filters, &mut applied, lit);
     table = apply_not_exists(query, table, ctx, access, timer);
     table = apply_optional(query, table, ctx, access, timer);
+    drop(match_span);
     let matched = timer.total_ns();
     trace.add(Stage::PatternMatch, matched.saturating_sub(t0));
+    let emit_span = wukong_obs::trace::scoped_span(Stage::ResultEmit);
     let out = finalize(query, table, &applied, lit);
+    drop(emit_span);
     trace.add(Stage::ResultEmit, timer.total_ns().saturating_sub(matched));
     out
 }

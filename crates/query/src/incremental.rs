@@ -490,6 +490,7 @@ pub fn maintain(
     };
 
     if rebuild {
+        let _delta_span = wukong_obs::trace::scoped_span(Stage::DeltaApply);
         let mut rows = run_term(
             query,
             plan,
@@ -511,6 +512,7 @@ pub fn maintain(
         let st = state.as_mut().expect("non-rebuild has state");
         let prev = st.windows.clone();
 
+        let retract_span = wukong_obs::trace::scoped_span(Stage::StateRetract);
         // Retract: a row survives iff its death is past the common fire
         // time — every contributing edge is still inside the new window
         // of its stream.
@@ -524,7 +526,9 @@ pub fn maintain(
         stats.rows_retracted = (before - st.rows.len()) as u64;
         stats.rows_reused = st.rows.len() as u64;
         let retracted_at = timer.total_ns();
+        drop(retract_span);
         trace.add(Stage::StateRetract, retracted_at.saturating_sub(t0));
+        let _delta_span = wukong_obs::trace::scoped_span(Stage::DeltaApply);
 
         // Per-stream slices of the new window: survivors S = old ∩ new,
         // delta D = the inserted suffix. `lo > hi` encodes empty.
@@ -577,9 +581,11 @@ pub fn maintain(
 
     let st = state.as_ref().expect("state just written");
     let emit_at = timer.total_ns();
+    let emit_span = wukong_obs::trace::scoped_span(Stage::ResultEmit);
     let table = BindingTable::from_flat(query.var_count as usize, st.rows.vals.clone());
     let applied = vec![true; query.filters.len()];
     let out = finalize(query, table, &applied, lit);
+    drop(emit_span);
     trace.add(Stage::ResultEmit, timer.total_ns().saturating_sub(emit_at));
     (out, stats)
 }

@@ -7,6 +7,7 @@
 //! timeless."
 
 use std::collections::HashSet;
+use wukong_obs::BatchId;
 use wukong_rdf::{Pid, StreamId, StreamTuple, Timestamp, Triple, TupleKind};
 
 /// Static description of a stream's content.
@@ -104,6 +105,14 @@ impl Batch {
     /// Whether `tuples` still matches the sealed checksum.
     pub fn verify(&self) -> bool {
         self.checksum == payload_checksum(&self.tuples)
+    }
+
+    /// The batch's causal identity: a pure function of `(stream,
+    /// timestamp)`, minted at seal time, stable across recovery replay
+    /// (the same logical batch carries the same [`BatchId`] through
+    /// dispatch, injection, shed logs, and trace dumps).
+    pub fn id(&self) -> BatchId {
+        BatchId::mint(self.stream.0, self.timestamp)
     }
     /// The timeless tuples (for the persistent store).
     pub fn timeless(&self) -> impl Iterator<Item = &StreamTuple> {

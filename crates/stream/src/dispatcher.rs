@@ -7,12 +7,16 @@
 //! stream's timing and timeless data (§4.1).
 
 use crate::adaptor::{payload_checksum, Batch};
+use wukong_obs::BatchId;
 use wukong_rdf::StreamTuple;
 use wukong_store::ShardMap;
 
 /// The slice of one batch destined for one node.
 #[derive(Debug, Clone)]
 pub struct SubBatch {
+    /// Causal identity of the parent batch, carried through injection
+    /// into the store install so traces can join on it.
+    pub batch: BatchId,
     /// Destination node.
     pub node: u16,
     /// The tuples the node must apply (a tuple may appear in several
@@ -42,6 +46,7 @@ impl SubBatch {
 pub fn dispatch(batch: &Batch, shards: &ShardMap) -> Vec<SubBatch> {
     let mut subs: Vec<SubBatch> = (0..shards.nodes())
         .map(|n| SubBatch {
+            batch: batch.id(),
             node: n,
             tuples: Vec::new(),
             checksum: 0,

@@ -171,6 +171,7 @@ impl Injector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wukong_obs::BatchId;
     use wukong_rdf::{Dir, Key, Pid, Triple, Vid};
 
     fn timeless(s: u64, p: u64, o: u64, ts: Timestamp) -> StreamTuple {
@@ -186,6 +187,7 @@ mod tests {
         let shard = PersistentShard::new(4);
         let mut store = NodeStreamStore::new(1 << 20);
         let sub = SubBatch {
+            batch: BatchId::mint(0, 100),
             node: 0,
             tuples: vec![timeless(1, 2, 3, 50), timing(4, 5, 6, 60)],
             checksum: 0,
@@ -213,6 +215,7 @@ mod tests {
         let mut store = NodeStreamStore::new(1 << 20);
         for (ts, o) in [(100u64, 10u64), (200, 11), (300, 12)] {
             let sub = SubBatch {
+                batch: BatchId::mint(0, ts),
                 node: 0,
                 tuples: vec![timeless(1, 2, o, ts - 10)],
                 checksum: 0,
@@ -235,6 +238,7 @@ mod tests {
         let mut src = NodeStreamStore::new(1 << 20);
         let mut dst = NodeStreamStore::new(1 << 20);
         let sub = SubBatch {
+            batch: BatchId::mint(0, 100),
             node: 0,
             tuples: vec![timeless(1, 2, 3, 90)],
             checksum: 0,

@@ -29,6 +29,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use wukong_obs::BatchId;
 use wukong_rdf::{StreamId, StreamTuple, Timestamp};
 
 use crate::adaptor::Batch;
@@ -76,6 +77,9 @@ pub struct ShedRecord {
     pub stream: StreamId,
     /// Timestamp of the batch the tuples were dropped from.
     pub batch_ts: Timestamp,
+    /// Causal identity of the batch the tuples were dropped from, so
+    /// shed events are joinable against flight-recorder traces.
+    pub batch: BatchId,
     /// Tuples dropped by this event.
     pub tuples_shed: u64,
     /// The policy that dropped them.
@@ -211,6 +215,7 @@ impl Shedder {
         self.log.push(ShedRecord {
             stream,
             batch_ts,
+            batch: BatchId::mint(stream.0, batch_ts),
             tuples_shed: n,
             policy: self.policy,
         });

@@ -193,6 +193,101 @@ fn overload_stages_land_in_the_batch_family() {
     }
 }
 
+/// Re-planning and recovery report through the same staged fabric:
+/// `Replan` lands on the tripped query's class (outside the disjoint
+/// query total, like `Shed`/`CatchUp` above), `Recovery` on the
+/// dedicated "recovery" stream series — and the firing-side stage-sum
+/// invariant survives both a mid-stream plan switch and a full
+/// crash-recovery drill.
+#[test]
+fn replan_and_recovery_stages_keep_the_invariant() {
+    use wukong_obs::Stage;
+
+    assert!(Stage::Replan.is_query_stage() && !Stage::Replan.counts_toward_query_total());
+    assert!(Stage::Recovery.is_batch_stage() && !Stage::Recovery.counts_toward_query_total());
+
+    let w = ls_workload_seeded(Scale::Tiny, 42);
+    let cfg = EngineConfig {
+        fault_tolerance: true,
+        ..EngineConfig::cluster(2)
+    };
+    let mgr = wukong_core::RecoveryManager::new(
+        cfg.clone(),
+        w.stored.clone(),
+        w.schemas(),
+        Arc::clone(&w.strings),
+    );
+    let engine = WukongS::with_strings(cfg, Arc::clone(&w.strings));
+    engine.load_base(w.stored.iter().copied());
+    for schema in w.schemas() {
+        engine.register_stream(schema);
+    }
+    let id = engine
+        .register_continuous(&lsbench::continuous_query(&w.bench, 1, 0))
+        .expect("register");
+
+    let mid = w.timeline.len() / 2;
+    for t in &w.timeline[..mid] {
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.checkpoint();
+    engine.force_replan(id);
+    for t in &w.timeline[mid..] {
+        engine.ingest(t.stream, t.triple, t.timestamp);
+    }
+    engine.advance_time(w.duration);
+    let mut firings = engine.fire_ready();
+    assert!(!firings.is_empty(), "the workload must fire queries");
+
+    let snap = engine.handle().obs().snapshot();
+    let replans: u64 = snap
+        .queries
+        .values()
+        .filter_map(|q| q.stages.get(&Stage::Replan))
+        .map(|h| h.count)
+        .sum();
+    assert!(replans >= 1, "the forced re-plan must record a Replan span");
+
+    // Crash-recover and fire the delayed windows on the fresh engine.
+    let (recovered, _report) = mgr.drill_verified(&engine, None).expect("recovery");
+    recovered.advance_time(w.duration);
+    firings.extend(recovered.fire_ready());
+
+    let rsnap = recovered.handle().obs().snapshot();
+    assert!(
+        rsnap.streams["recovery"].stages[&Stage::Recovery].count >= 1,
+        "the drill must record a Recovery span"
+    );
+
+    // The firing-side invariant holds across the plan switch and the
+    // recovery boundary: the disjoint query stages still account for
+    // each firing's end-to-end latency, never exceeding it.
+    let mut staged = 0u64;
+    let mut total = 0u64;
+    for f in &firings {
+        let sum = f.stages.query_total_ns();
+        let e2e = (f.latency_ms * 1e6) as u64;
+        assert!(
+            sum <= e2e + e2e / 100 + 1_000,
+            "stage sum {sum} ns exceeds end-to-end {e2e} ns for {:?}",
+            f.name
+        );
+        staged += sum;
+        total += e2e;
+    }
+    assert!(total > 0, "latencies must be non-zero");
+    // Post-recovery refires run on a cold engine (fresh caches, first
+    // touch of every shard), so unattributed warm-up costs are larger
+    // than in the steady-state test above — the floor is looser, the
+    // per-firing upper bound stays strict.
+    let coverage = staged as f64 / total as f64;
+    assert!(
+        (0.75..=1.01).contains(&coverage),
+        "stages cover {:.1}% of end-to-end latency across replan+recovery (want >= 75%)",
+        coverage * 100.0
+    );
+}
+
 /// Golden test for the `--json` report: a tiny in-process experiment
 /// written through `BenchJson` parses back with the expected schema,
 /// percentile keys, and stage names.
